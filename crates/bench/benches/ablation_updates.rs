@@ -1,0 +1,87 @@
+//! Ablation for the §4.3 update machinery: one incremental operation
+//! against the full index rebuild it replaces, plus the R-tree split
+//! heuristics feeding the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iq_bench::harness::build_instance;
+use iq_core::update::{add_query, UpdateStats};
+use iq_core::{QueryIndex, TopKQuery};
+use iq_index::{RTree, SplitAlgorithm};
+use iq_workload::{Distribution, QueryDistribution};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_updates");
+    group.sample_size(10);
+    for &(n, m) in &[(1000usize, 300usize), (4000, 600)] {
+        let inst = build_instance(
+            Distribution::Independent,
+            QueryDistribution::Clustered,
+            n,
+            m,
+            3,
+            6,
+            77,
+        );
+        let index = QueryIndex::build(&inst);
+        let label = format!("{n}x{m}");
+        // Incremental: add one clustered query (kNN fast path likely).
+        group.bench_with_input(BenchmarkId::new("add_query_incremental", &label), &(), |b, _| {
+            b.iter_batched(
+                || (inst.clone(), index.clone()),
+                |(mut inst, mut index)| {
+                    let w = inst.queries()[0].weights.clone();
+                    let mut stats = UpdateStats::default();
+                    add_query(&mut inst, &mut index, TopKQuery::new(w, 3), &mut stats).unwrap();
+                    (inst, index)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        // The alternative: rebuild from scratch after the same insertion.
+        group.bench_with_input(BenchmarkId::new("full_rebuild", &label), &(), |b, _| {
+            b.iter_batched(
+                || {
+                    let mut i = inst.clone();
+                    let w = i.queries()[0].weights.clone();
+                    i.push_query(TopKQuery::new(w, 3)).unwrap();
+                    i
+                },
+                |inst| QueryIndex::build(&inst),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_splits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rtree_split");
+    group.sample_size(10);
+    let inst = build_instance(
+        Distribution::Independent,
+        QueryDistribution::Clustered,
+        100,
+        2000,
+        3,
+        4,
+        78,
+    );
+    for (name, algo) in [
+        ("quadratic", SplitAlgorithm::Quadratic),
+        ("rstar", SplitAlgorithm::RStar),
+    ] {
+        group.bench_function(BenchmarkId::new("build", name), |b| {
+            b.iter(|| {
+                let mut t = RTree::with_split(3, 16, algo);
+                for (qi, q) in inst.queries().iter().enumerate() {
+                    t.insert(q.weights.clone(), qi);
+                }
+                t
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_splits);
+criterion_main!(benches);

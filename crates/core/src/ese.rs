@@ -1,0 +1,499 @@
+//! Efficient Strategy Evaluation (Algorithm 2).
+//!
+//! Evaluating a candidate strategy means recomputing `H(p + s)` — the
+//! number of top-k queries the improved target hits. The key observations:
+//!
+//! 1. Because only the target moves, the *admission threshold* of query `q`
+//!    (the score of the k-th best non-target object, Eq. 6) is a fixed
+//!    object per subdomain. The target hits `q` iff its score beats that
+//!    threshold object's.
+//! 2. The hit status can therefore only flip for queries inside the
+//!    *affected subspace* (Eqs. 4–5) of the target/threshold-object pair —
+//!    the slab between `(p − o)·q = 0` and `(p + s − o)·q = 0`.
+//!
+//! [`TargetEvaluator::evaluate`] exploits both: queries are pre-grouped by
+//! threshold object (a [`GroupedQueryIndex`] forest), and one slab query
+//! per group retrieves exactly the candidates whose status may change.
+//! [`TargetEvaluator::evaluate_pairwise`] is the literal Algorithm 2 loop
+//! over *all* intersecting objects, kept for validation; both are
+//! property-tested against naive re-evaluation.
+
+use crate::model::{ImprovementStrategy, Instance};
+use crate::subdomain::QueryIndex;
+use iq_geometry::{vector::dot, Slab, Vector};
+use iq_index::GroupedQueryIndex;
+use iq_topk::naive::rank_cmp;
+use std::cmp::Ordering;
+
+/// Absolute tolerance for affected-subspace boundary tests: queries this
+/// close to a boundary are re-evaluated exactly instead of classified by
+/// sign (their hit status may hinge on the id tie-break).
+const BOUNDARY_TOL: f64 = 1e-7;
+
+/// Per-target evaluation state: current scores, hit set, and the
+/// threshold-object grouping that drives fast ESE.
+#[derive(Debug, Clone)]
+pub struct TargetEvaluator<'a> {
+    instance: &'a Instance,
+    target: usize,
+    /// Cumulative strategy committed so far (`p_eff = p + applied`).
+    applied: Vector,
+    /// Per query: the admission threshold `(object id, score)`; `None`
+    /// when the dataset has fewer than `k` other objects (trivial hit).
+    thresh: Vec<Option<(u32, f64)>>,
+    /// Per query: current hit status of the (improved) target.
+    hit: Vec<bool>,
+    hit_count: usize,
+    /// Queries grouped by threshold object for slab retrieval.
+    grouped: GroupedQueryIndex,
+}
+
+impl<'a> TargetEvaluator<'a> {
+    /// Builds the evaluator for one target using a prebuilt query index.
+    pub fn new(instance: &'a Instance, index: &QueryIndex, target: usize) -> Self {
+        let m = instance.num_queries();
+        let mut thresh = Vec::with_capacity(m);
+        let mut grouped = GroupedQueryIndex::new(instance.dim().max(1));
+        for qi in 0..m {
+            let t = index.threshold_for(instance, qi, target);
+            if let Some((o, _)) = t {
+                grouped.insert(o, instance.queries()[qi].weights.clone(), qi);
+            }
+            thresh.push(t.map(|(o, s)| (o as u32, s)));
+        }
+        let mut ev = TargetEvaluator {
+            instance,
+            target,
+            applied: Vector::zeros(instance.dim()),
+            thresh,
+            hit: vec![false; m],
+            hit_count: 0,
+            grouped,
+        };
+        ev.recompute_hits();
+        ev
+    }
+
+    /// The target object's id.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// The instance being evaluated against.
+    pub fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    /// The cumulative strategy committed so far.
+    pub fn applied(&self) -> &Vector {
+        &self.applied
+    }
+
+    /// The improved target's current attribute vector `p + applied`.
+    pub fn effective_target(&self) -> Vector {
+        let base = Vector::from(self.instance.object(self.target));
+        &base + &self.applied
+    }
+
+    /// Current hit count `H(p + applied)`.
+    pub fn hit_count(&self) -> usize {
+        self.hit_count
+    }
+
+    /// Whether query `q` is currently hit.
+    pub fn is_hit(&self, q: usize) -> bool {
+        self.hit[q]
+    }
+
+    /// Current hit bitmap.
+    pub fn hits(&self) -> &[bool] {
+        &self.hit
+    }
+
+    /// The admission threshold of query `q` (`None` = trivially hit).
+    pub fn threshold(&self, q: usize) -> Option<(usize, f64)> {
+        self.thresh[q].map(|(o, s)| (o as usize, s))
+    }
+
+    /// The right-hand side of the hit condition for an *additional*
+    /// strategy `s` on query `q`: hit ⟺ `w_q · s ≤ rhs` (with strictness
+    /// folded in as an epsilon when the id tie-break goes against the
+    /// target). `None` when the query is trivially hit regardless of `s`.
+    pub fn required_rhs(&self, q: usize) -> Option<f64> {
+        let (_, thresh_score) = self.thresh[q]?;
+        let ts = self.current_score(q);
+        // Aim strictly below the threshold with a safety epsilon: this is
+        // robust to f64 rounding and to the id tie-break, at a vanishing
+        // (1e-9-scale) cost premium. Eq. 6 demands strict `<` anyway.
+        Some(thresh_score - ts - strict_eps(thresh_score))
+    }
+
+    /// The improved target's current score under query `q`.
+    pub fn current_score(&self, q: usize) -> f64 {
+        dot(
+            self.effective_target().as_slice(),
+            &self.instance.queries()[q].weights,
+        )
+    }
+
+    fn hit_status(&self, q: usize, target_score: f64) -> bool {
+        match self.thresh[q] {
+            None => true,
+            Some((o, os)) => {
+                rank_cmp(target_score, self.target, os, o as usize) == Ordering::Less
+            }
+        }
+    }
+
+    fn recompute_hits(&mut self) {
+        let p_eff = self.effective_target();
+        self.hit_count = 0;
+        for q in 0..self.instance.num_queries() {
+            let ts = dot(p_eff.as_slice(), &self.instance.queries()[q].weights);
+            let h = self.hit_status(q, ts);
+            self.hit[q] = h;
+            self.hit_count += h as usize;
+        }
+    }
+
+    /// **Fast ESE**: `H(p + applied + s)` touching only queries inside the
+    /// per-threshold-object affected subspaces.
+    pub fn evaluate(&self, s: &ImprovementStrategy) -> usize {
+        let mut delta = 0i64;
+        self.visit_changes(s, &mut |_, was, now| {
+            delta += now as i64 - was as i64;
+        });
+        (self.hit_count as i64 + delta) as usize
+    }
+
+    /// Fast ESE, reporting each query whose hit status changes as
+    /// `(query, was_hit, now_hit)`. Used by the multi-target extension to
+    /// maintain union hit counts.
+    pub fn evaluate_changes(&self, s: &ImprovementStrategy) -> Vec<(usize, bool, bool)> {
+        let mut out = Vec::new();
+        self.visit_changes(s, &mut |q, was, now| out.push((q, was, now)));
+        out
+    }
+
+    fn visit_changes(
+        &self,
+        s: &ImprovementStrategy,
+        visit: &mut impl FnMut(usize, bool, bool),
+    ) {
+        let p_eff = self.effective_target();
+        let p_new = &p_eff + s;
+        for group in self.grouped.group_keys() {
+            let o_attrs = Vector::from(self.instance.object(group));
+            match Slab::affected_subspace(&p_eff, &o_attrs, s) {
+                Some(slab) => {
+                    self.grouped.visit_slab_tol(group, &slab, BOUNDARY_TOL, &mut |qi| {
+                        let w = &self.instance.queries()[qi].weights;
+                        let now = self.hit_status(qi, dot(p_new.as_slice(), w));
+                        if now != self.hit[qi] {
+                            visit(qi, self.hit[qi], now);
+                        }
+                    });
+                }
+                None => {
+                    // Degenerate boundary (target coincides with the
+                    // threshold object before or after): scan the group.
+                    self.grouped.visit_slab_tol(
+                        group,
+                        &Slab::new(
+                            always_straddling(self.instance.dim()),
+                            always_straddling(self.instance.dim()),
+                        ),
+                        f64::INFINITY,
+                        &mut |qi| {
+                            let w = &self.instance.queries()[qi].weights;
+                            let now = self.hit_status(qi, dot(p_new.as_slice(), w));
+                            if now != self.hit[qi] {
+                                visit(qi, self.hit[qi], now);
+                            }
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// **Literal Algorithm 2**: loops over every object intersecting the
+    /// target's function, retrieves each pairwise affected subspace from the
+    /// full R-tree, and re-evaluates the union of affected queries. Kept as
+    /// the faithful-but-slower reference; results are identical to
+    /// [`Self::evaluate`].
+    pub fn evaluate_pairwise(&self, index: &QueryIndex, s: &ImprovementStrategy) -> usize {
+        let p_eff = self.effective_target();
+        let p_new = &p_eff + s;
+        let mut affected = vec![false; self.instance.num_queries()];
+        for l in 0..self.instance.num_objects() {
+            if l == self.target {
+                continue;
+            }
+            let o_attrs = Vector::from(self.instance.object(l));
+            if let Some(slab) = Slab::affected_subspace(&p_eff, &o_attrs, s) {
+                index.rtree().visit_slab_tol(&slab, BOUNDARY_TOL, &mut |e| {
+                    affected[e.data] = true;
+                });
+            }
+        }
+        let mut count = self.hit_count as i64;
+        for (qi, flag) in affected.iter().enumerate() {
+            if !flag {
+                continue;
+            }
+            let w = &self.instance.queries()[qi].weights;
+            let now = self.hit_status(qi, dot(p_new.as_slice(), w));
+            count += now as i64 - self.hit[qi] as i64;
+        }
+        count as usize
+    }
+
+    /// Ground-truth evaluation: recomputes every query's hit status from
+    /// the stored thresholds. `O(m·d)`; the oracle the fast paths are
+    /// tested against (and itself validated against
+    /// [`Instance::hit_count_naive`]).
+    pub fn evaluate_naive(&self, s: &ImprovementStrategy) -> usize {
+        let p_new = &self.effective_target() + s;
+        (0..self.instance.num_queries())
+            .filter(|&q| {
+                self.hit_status(q, dot(p_new.as_slice(), &self.instance.queries()[q].weights))
+            })
+            .count()
+    }
+
+    /// Commits a strategy: `applied += s`, with hit state recomputed
+    /// exactly (no incremental drift).
+    pub fn apply(&mut self, s: &ImprovementStrategy) {
+        self.applied += s;
+        self.recompute_hits();
+    }
+}
+
+/// Safety margin for strict score inequalities, scaled to the threshold
+/// magnitude.
+fn strict_eps(scale: f64) -> f64 {
+    1e-9 * (1.0 + scale.abs())
+}
+
+/// A hyperplane that straddles everything — used to force a full-group
+/// scan through the slab-visit API in the degenerate case.
+fn always_straddling(dim: usize) -> iq_geometry::Hyperplane {
+    iq_geometry::Hyperplane::new(Vector::basis(dim.max(1), 0, 1.0), 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TopKQuery;
+    use crate::subdomain::QueryIndex;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    fn random_instance(n: usize, m: usize, d: usize, kmax: usize, seed: u64) -> Instance {
+        let mut rnd = lcg(seed);
+        let objects: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rnd()).collect()).collect();
+        let queries: Vec<TopKQuery> = (0..m)
+            .map(|_| {
+                let w: Vec<f64> = (0..d).map(|_| rnd()).collect();
+                TopKQuery::new(w, 1 + (rnd() * kmax as f64) as usize)
+            })
+            .collect();
+        Instance::new(objects, queries).unwrap()
+    }
+
+    #[test]
+    fn initial_hit_count_matches_naive() {
+        let inst = random_instance(40, 60, 3, 5, 1);
+        let idx = QueryIndex::build(&inst);
+        for target in [0usize, 13, 39] {
+            let ev = TargetEvaluator::new(&inst, &idx, target);
+            assert_eq!(ev.hit_count(), inst.hit_count_naive(target), "target {target}");
+        }
+    }
+
+    #[test]
+    fn fast_ese_matches_naive_random_strategies() {
+        let inst = random_instance(30, 80, 3, 4, 7);
+        let idx = QueryIndex::build(&inst);
+        let mut rnd = lcg(55);
+        for target in [0usize, 11, 29] {
+            let ev = TargetEvaluator::new(&inst, &idx, target);
+            for _ in 0..30 {
+                let s = Vector::new(
+                    (0..3).map(|_| (rnd() - 0.5) * 0.6).collect::<Vec<_>>(),
+                );
+                let fast = ev.evaluate(&s);
+                let naive = ev.evaluate_naive(&s);
+                assert_eq!(fast, naive, "target {target}, s {s:?}");
+                // And the evaluator's own oracle agrees with the model's.
+                let improved = inst.with_strategy(target, &s);
+                assert_eq!(naive, improved.hit_count_naive(target));
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_ese_matches_fast() {
+        let inst = random_instance(25, 50, 2, 3, 21);
+        let idx = QueryIndex::build(&inst);
+        let mut rnd = lcg(99);
+        let ev = TargetEvaluator::new(&inst, &idx, 5);
+        for _ in 0..20 {
+            let s = Vector::new((0..2).map(|_| (rnd() - 0.5) * 0.8).collect::<Vec<_>>());
+            assert_eq!(ev.evaluate(&s), ev.evaluate_pairwise(&idx, &s));
+        }
+    }
+
+    #[test]
+    fn apply_accumulates_and_recomputes() {
+        let inst = random_instance(20, 40, 3, 3, 3);
+        let idx = QueryIndex::build(&inst);
+        let mut ev = TargetEvaluator::new(&inst, &idx, 4);
+        let s1 = Vector::from([-0.1, 0.05, -0.2]);
+        let s2 = Vector::from([-0.05, -0.1, 0.0]);
+        let predicted = ev.evaluate(&s1);
+        ev.apply(&s1);
+        assert_eq!(ev.hit_count(), predicted);
+        let predicted2 = ev.evaluate(&s2);
+        ev.apply(&s2);
+        assert_eq!(ev.hit_count(), predicted2);
+        // Cumulative equals one-shot application on the model.
+        let total = &s1 + &s2;
+        let improved = inst.with_strategy(4, &total);
+        assert_eq!(ev.hit_count(), improved.hit_count_naive(4));
+        assert_eq!(ev.applied().as_slice(), total.as_slice());
+    }
+
+    #[test]
+    fn required_rhs_is_exactly_sufficient() {
+        let inst = random_instance(30, 50, 3, 4, 13);
+        let idx = QueryIndex::build(&inst);
+        let ev = TargetEvaluator::new(&inst, &idx, 2);
+        for q in 0..inst.num_queries() {
+            if ev.is_hit(q) {
+                continue;
+            }
+            let Some(rhs) = ev.required_rhs(q) else {
+                continue;
+            };
+            let w = Vector::from(inst.queries()[q].weights.as_slice());
+            // A strategy achieving w·s = rhs must hit the query…
+            if let Some(s) = iq_solver::min_norm_single(&w, rhs) {
+                let new_hits = ev.evaluate_changes(&s);
+                let hit_now = new_hits
+                    .iter()
+                    .find(|(qi, _, _)| *qi == q)
+                    .map(|&(_, _, now)| now)
+                    .unwrap_or(ev.is_hit(q));
+                assert!(hit_now, "query {q} not hit at rhs boundary");
+            }
+            // …and one clearly short of it must not.
+            let short = iq_solver::min_norm_single(&w, rhs + 0.05);
+            if rhs + 0.05 < 0.0 {
+                let s = short.unwrap();
+                let changed = ev.evaluate_changes(&s);
+                let hit_now = changed
+                    .iter()
+                    .find(|(qi, _, _)| *qi == q)
+                    .map(|&(_, _, now)| now)
+                    .unwrap_or(ev.is_hit(q));
+                assert!(!hit_now, "query {q} hit while short of the threshold");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_strategy_changes_nothing() {
+        let inst = random_instance(20, 30, 3, 3, 17);
+        let idx = QueryIndex::build(&inst);
+        let ev = TargetEvaluator::new(&inst, &idx, 0);
+        let z = Vector::zeros(3);
+        assert_eq!(ev.evaluate(&z), ev.hit_count());
+        assert!(ev.evaluate_changes(&z).is_empty());
+    }
+
+    #[test]
+    fn tiny_dataset_trivial_hits() {
+        // Two objects, k = 5 > n − 1: every query trivially hits.
+        let inst = Instance::new(
+            vec![vec![0.9, 0.9], vec![0.1, 0.1]],
+            vec![
+                TopKQuery::new(vec![0.5, 0.5], 5),
+                TopKQuery::new(vec![0.2, 0.8], 5),
+            ],
+        )
+        .unwrap();
+        let idx = QueryIndex::build(&inst);
+        let ev = TargetEvaluator::new(&inst, &idx, 0);
+        assert_eq!(ev.hit_count(), 2);
+        assert_eq!(ev.required_rhs(0), None);
+        // Even a terrible strategy cannot lose trivial hits.
+        assert_eq!(ev.evaluate(&Vector::from([100.0, 100.0])), 2);
+    }
+
+    #[test]
+    fn degenerate_target_equals_threshold_object() {
+        // The target coincides with another object; slabs degenerate and
+        // the group-scan fallback must still produce exact counts.
+        let inst = Instance::new(
+            vec![vec![0.5, 0.5], vec![0.5, 0.5], vec![0.2, 0.8]],
+            vec![
+                TopKQuery::new(vec![0.5, 0.5], 1),
+                TopKQuery::new(vec![0.9, 0.1], 1),
+                TopKQuery::new(vec![0.1, 0.9], 2),
+            ],
+        )
+        .unwrap();
+        let idx = QueryIndex::build(&inst);
+        let ev = TargetEvaluator::new(&inst, &idx, 1);
+        for s in [
+            Vector::from([0.0, 0.0]),
+            Vector::from([-0.1, 0.0]),
+            Vector::from([0.1, -0.3]),
+        ] {
+            assert_eq!(ev.evaluate(&s), ev.evaluate_naive(&s), "s {s:?}");
+            let improved = inst.with_strategy(1, &s);
+            assert_eq!(ev.evaluate(&s), improved.hit_count_naive(1));
+        }
+    }
+
+    #[test]
+    fn tie_breaking_lattice_exactness() {
+        // Lattice coordinates engineer exact score ties; fast ESE must agree
+        // with the naive oracle on every boundary case.
+        let objects: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![(i % 4) as f64 * 0.25, (i / 4) as f64 * 0.25])
+            .collect();
+        let queries: Vec<TopKQuery> = (1..=4)
+            .flat_map(|a| {
+                (1..=4).map(move |b| TopKQuery::new(vec![a as f64 * 0.25, b as f64 * 0.25], 3))
+            })
+            .collect();
+        let inst = Instance::new(objects, queries).unwrap();
+        let idx = QueryIndex::build(&inst);
+        for target in [0usize, 5, 10, 15] {
+            let ev = TargetEvaluator::new(&inst, &idx, target);
+            assert_eq!(ev.hit_count(), inst.hit_count_naive(target));
+            for sx in [-0.25f64, 0.0, 0.25] {
+                for sy in [-0.25f64, 0.0, 0.25] {
+                    let s = Vector::from([sx, sy]);
+                    let improved = inst.with_strategy(target, &s);
+                    assert_eq!(
+                        ev.evaluate(&s),
+                        improved.hit_count_naive(target),
+                        "target {target}, s ({sx}, {sy})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Combinatorial object improvement (§5.1): improving *several* targets at
+//! once.
+//!
+//! Each target carries its own cost function (and bounds); a query counts
+//! **once** toward the union hit total no matter how many targets hit it.
+//! The searches mirror the single-target Algorithms 3/4, with candidates
+//! drawn from every `(target, unhit query)` pair:
+//!
+//! * Combinatorial Min-Cost (Definition 5): Σ hits ≥ τ, minimize Σ costs.
+//! * Combinatorial Max-Hit (Definition 6): Σ costs ≤ β, maximize Σ hits.
+
+use crate::cost::{CostFunction, StrategyBounds};
+use crate::ese::TargetEvaluator;
+use crate::model::{ImprovementStrategy, Instance};
+use crate::subdomain::QueryIndex;
+use iq_geometry::Vector;
+
+/// One target's specification: object id, cost model, validity bounds.
+pub struct TargetSpec<'a> {
+    /// The object to improve.
+    pub target: usize,
+    /// Its cost function (targets may differ, §5.1).
+    pub cost_fn: &'a dyn CostFunction,
+    /// Its validity bounds.
+    pub bounds: StrategyBounds,
+}
+
+/// The outcome of a combinatorial improvement query.
+#[derive(Debug, Clone)]
+pub struct MultiIqReport {
+    /// Per input target: the cumulative strategy applied to it.
+    pub strategies: Vec<ImprovementStrategy>,
+    /// Per input target: its strategy's cost under its own cost function.
+    pub costs: Vec<f64>,
+    /// Σ costs.
+    pub total_cost: f64,
+    /// Union hit count before improvement.
+    pub hits_before: usize,
+    /// Union hit count after improvement.
+    pub hits_after: usize,
+    /// Greedy iterations executed.
+    pub iterations: usize,
+    /// Whether the goal was met.
+    pub achieved: bool,
+}
+
+/// Shared state: per-target evaluators plus the union hit bookkeeping.
+struct MultiState<'a> {
+    evals: Vec<TargetEvaluator<'a>>,
+    /// Per query: how many targets currently hit it.
+    hit_by: Vec<u32>,
+    union_hits: usize,
+}
+
+impl<'a> MultiState<'a> {
+    fn new(instance: &'a Instance, index: &QueryIndex, targets: &[TargetSpec<'_>]) -> Self {
+        let evals: Vec<TargetEvaluator<'a>> = targets
+            .iter()
+            .map(|t| TargetEvaluator::new(instance, index, t.target))
+            .collect();
+        let m = instance.num_queries();
+        let mut hit_by = vec![0u32; m];
+        for ev in &evals {
+            for q in 0..m {
+                hit_by[q] += ev.is_hit(q) as u32;
+            }
+        }
+        let union_hits = hit_by.iter().filter(|&&c| c > 0).count();
+        MultiState { evals, hit_by, union_hits }
+    }
+
+    /// Union hit delta if target `ti` applied `s` (nothing committed).
+    fn union_delta(&self, ti: usize, s: &Vector) -> i64 {
+        let mut delta = 0i64;
+        for (q, was, now) in self.evals[ti].evaluate_changes(s) {
+            debug_assert_ne!(was, now);
+            if now && self.hit_by[q] == 0 {
+                delta += 1; // first target to hit q
+            } else if !now && self.hit_by[q] == 1 && was {
+                delta -= 1; // last hitter leaves q
+            }
+        }
+        delta
+    }
+
+    fn commit(&mut self, ti: usize, s: &Vector) {
+        for (q, was, now) in self.evals[ti].evaluate_changes(s) {
+            if now && !was {
+                self.hit_by[q] += 1;
+                if self.hit_by[q] == 1 {
+                    self.union_hits += 1;
+                }
+            } else if was && !now {
+                self.hit_by[q] -= 1;
+                if self.hit_by[q] == 0 {
+                    self.union_hits -= 1;
+                }
+            }
+        }
+        self.evals[ti].apply(s);
+    }
+}
+
+struct MultiCandidate {
+    target_idx: usize,
+    strategy: Vector,
+    cost_inc: f64,
+    union_delta: i64,
+}
+
+/// Per-iteration candidate generation: for every target and every query no
+/// target hits yet, the cheapest strategy for that target to hit it.
+fn multi_candidates(
+    state: &MultiState<'_>,
+    targets: &[TargetSpec<'_>],
+    instance: &Instance,
+) -> Vec<MultiCandidate> {
+    let mut out = Vec::new();
+    for (ti, spec) in targets.iter().enumerate() {
+        let ev = &state.evals[ti];
+        let rem = spec.bounds.remaining(ev.applied());
+        for q in 0..instance.num_queries() {
+            if state.hit_by[q] > 0 {
+                continue; // already covered by some target
+            }
+            let Some(rhs) = ev.required_rhs(q) else {
+                continue;
+            };
+            let weights = &instance.queries()[q].weights;
+            let Some((s, c)) = spec.cost_fn.min_cost_to_satisfy(weights, rhs, &rem) else {
+                continue;
+            };
+            let delta = state.union_delta(ti, &s);
+            out.push(MultiCandidate { target_idx: ti, strategy: s, cost_inc: c, union_delta: delta });
+        }
+    }
+    out
+}
+
+fn best_ratio(cands: &[MultiCandidate]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in cands.iter().enumerate() {
+        if c.union_delta <= 0 {
+            continue;
+        }
+        let ratio = c.cost_inc / c.union_delta as f64;
+        if best.is_none_or(|(_, b)| ratio < b) {
+            best = Some((i, ratio));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+fn finish(
+    state: MultiState<'_>,
+    targets: &[TargetSpec<'_>],
+    hits_before: usize,
+    iterations: usize,
+    achieved: bool,
+) -> MultiIqReport {
+    let strategies: Vec<ImprovementStrategy> =
+        state.evals.iter().map(|e| e.applied().clone()).collect();
+    let costs: Vec<f64> = strategies
+        .iter()
+        .zip(targets)
+        .map(|(s, t)| t.cost_fn.cost(s))
+        .collect();
+    MultiIqReport {
+        total_cost: costs.iter().sum(),
+        costs,
+        strategies,
+        hits_before,
+        hits_after: state.union_hits,
+        iterations,
+        achieved,
+    }
+}
+
+/// Combinatorial **Min-Cost** improvement (Definition 5 / §5.1 steps 1–3).
+pub fn multi_min_cost_iq(
+    instance: &Instance,
+    index: &QueryIndex,
+    targets: &[TargetSpec<'_>],
+    tau: usize,
+    max_iterations: usize,
+) -> MultiIqReport {
+    let mut state = MultiState::new(instance, index, targets);
+    let hits_before = state.union_hits;
+    let mut iterations = 0;
+    while state.union_hits < tau && iterations < max_iterations {
+        iterations += 1;
+        let cands = multi_candidates(&state, targets, instance);
+        let Some(best) = best_ratio(&cands) else {
+            break;
+        };
+        // §5.1 step 2: avoid over-achieving τ — when the best candidate
+        // overshoots, prefer the cheapest candidate that reaches exactly
+        // enough.
+        let need = (tau - state.union_hits) as i64;
+        let chosen = if cands[best].union_delta > need {
+            cands
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.union_delta >= need)
+                .min_by(|(_, a), (_, b)| a.cost_inc.partial_cmp(&b.cost_inc).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(best)
+        } else {
+            best
+        };
+        let ti = cands[chosen].target_idx;
+        let s = cands[chosen].strategy.clone();
+        state.commit(ti, &s);
+    }
+    let achieved = state.union_hits >= tau;
+    finish(state, targets, hits_before, iterations, achieved)
+}
+
+/// Combinatorial **Max-Hit** improvement (Definition 6 / §5.1 steps 1–3).
+pub fn multi_max_hit_iq(
+    instance: &Instance,
+    index: &QueryIndex,
+    targets: &[TargetSpec<'_>],
+    budget: f64,
+    max_iterations: usize,
+) -> MultiIqReport {
+    let mut state = MultiState::new(instance, index, targets);
+    let hits_before = state.union_hits;
+    let mut iterations = 0;
+    let mut spent = 0.0f64;
+    while spent < budget && iterations < max_iterations {
+        iterations += 1;
+        // §5.1 step 2: filter candidates to the remaining budget.
+        let cands: Vec<MultiCandidate> = multi_candidates(&state, targets, instance)
+            .into_iter()
+            .filter(|c| spent + c.cost_inc <= budget)
+            .collect();
+        let Some(best) = best_ratio(&cands) else {
+            break; // empty candidate set → terminate
+        };
+        let ti = cands[best].target_idx;
+        let s = cands[best].strategy.clone();
+        spent += cands[best].cost_inc;
+        state.commit(ti, &s);
+    }
+    finish(state, targets, hits_before, iterations, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{EuclideanCost, WeightedEuclideanCost};
+    use crate::model::TopKQuery;
+    use crate::search::{min_cost_iq, SearchOptions};
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    fn random_instance(n: usize, m: usize, d: usize, kmax: usize, seed: u64) -> Instance {
+        let mut rnd = lcg(seed);
+        let objects: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rnd()).collect()).collect();
+        let queries: Vec<TopKQuery> = (0..m)
+            .map(|_| {
+                let w: Vec<f64> = (0..d).map(|_| rnd()).collect();
+                TopKQuery::new(w, 1 + (rnd() * kmax as f64) as usize)
+            })
+            .collect();
+        Instance::new(objects, queries).unwrap()
+    }
+
+    fn union_hits_ground_truth(inst: &Instance, targets: &[usize]) -> usize {
+        (0..inst.num_queries())
+            .filter(|&q| {
+                targets.iter().any(|&t| {
+                    iq_topk::naive::hits(inst.objects(), &inst.queries()[q], t)
+                })
+            })
+            .count()
+    }
+
+    #[test]
+    fn single_target_multi_matches_single_search() {
+        let inst = random_instance(25, 40, 3, 3, 91);
+        let idx = QueryIndex::build(&inst);
+        let cost = EuclideanCost;
+        let target = 5;
+        let tau = (inst.hit_count_naive(target) + 5).min(inst.num_queries());
+        let single = min_cost_iq(
+            &inst,
+            &idx,
+            target,
+            tau,
+            &cost,
+            &StrategyBounds::unbounded(3),
+            &SearchOptions::default(),
+        );
+        let specs = [TargetSpec {
+            target,
+            cost_fn: &cost,
+            bounds: StrategyBounds::unbounded(3),
+        }];
+        let multi = multi_min_cost_iq(&inst, &idx, &specs, tau, 10_000);
+        assert!(multi.achieved);
+        assert_eq!(multi.hits_after >= tau, single.hits_after >= tau);
+        // Both heuristics should land in a similar cost range.
+        assert!(multi.total_cost <= single.cost * 1.5 + 1e-6);
+    }
+
+    #[test]
+    fn two_targets_reach_tau_union_verified() {
+        let inst = random_instance(30, 60, 3, 3, 17);
+        let idx = QueryIndex::build(&inst);
+        let cost = EuclideanCost;
+        let targets = [2usize, 19];
+        let before = union_hits_ground_truth(&inst, &targets);
+        let tau = (before + 10).min(inst.num_queries());
+        let specs: Vec<TargetSpec<'_>> = targets
+            .iter()
+            .map(|&t| TargetSpec {
+                target: t,
+                cost_fn: &cost,
+                bounds: StrategyBounds::unbounded(3),
+            })
+            .collect();
+        let r = multi_min_cost_iq(&inst, &idx, &specs, tau, 10_000);
+        assert!(r.achieved, "union tau not reached: {r:?}");
+        assert_eq!(r.hits_before, before);
+        // Ground truth on a fresh instance with both strategies applied.
+        let mut improved = inst.clone();
+        for (&t, s) in targets.iter().zip(&r.strategies) {
+            improved.apply_strategy(t, s).unwrap();
+        }
+        assert_eq!(union_hits_ground_truth(&improved, &targets), r.hits_after);
+        assert!(r.hits_after >= tau);
+    }
+
+    #[test]
+    fn per_target_cost_functions_respected() {
+        let inst = random_instance(25, 40, 2, 3, 33);
+        let idx = QueryIndex::build(&inst);
+        // Target A can only move attribute 1 cheaply; target B attribute 0.
+        let cost_a = WeightedEuclideanCost::new(vec![1000.0, 1.0]);
+        let cost_b = WeightedEuclideanCost::new(vec![1.0, 1000.0]);
+        let specs = [
+            TargetSpec { target: 0, cost_fn: &cost_a, bounds: StrategyBounds::unbounded(2) },
+            TargetSpec { target: 1, cost_fn: &cost_b, bounds: StrategyBounds::unbounded(2) },
+        ];
+        let before = union_hits_ground_truth(&inst, &[0, 1]);
+        let tau = (before + 4).min(inst.num_queries());
+        let r = multi_min_cost_iq(&inst, &idx, &specs, tau, 10_000);
+        if r.achieved {
+            // Each target should have moved mostly along its cheap axis.
+            assert!(r.strategies[0][0].abs() <= r.strategies[0][1].abs() + 1e-6);
+            assert!(r.strategies[1][1].abs() <= r.strategies[1][0].abs() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn multi_max_hit_respects_total_budget() {
+        let inst = random_instance(30, 50, 3, 3, 57);
+        let idx = QueryIndex::build(&inst);
+        let cost = EuclideanCost;
+        let targets = [1usize, 8, 22];
+        let specs: Vec<TargetSpec<'_>> = targets
+            .iter()
+            .map(|&t| TargetSpec {
+                target: t,
+                cost_fn: &cost,
+                bounds: StrategyBounds::unbounded(3),
+            })
+            .collect();
+        let before = union_hits_ground_truth(&inst, &targets);
+        let r = multi_max_hit_iq(&inst, &idx, &specs, 0.6, 10_000);
+        assert!(r.hits_after >= before);
+        // Charged incrementally; final per-target costs obey the triangle
+        // inequality, so the sum stays within budget.
+        assert!(r.total_cost <= 0.6 + 1e-6, "over budget: {}", r.total_cost);
+        let mut improved = inst.clone();
+        for (&t, s) in targets.iter().zip(&r.strategies) {
+            improved.apply_strategy(t, s).unwrap();
+        }
+        assert_eq!(union_hits_ground_truth(&improved, &targets), r.hits_after);
+    }
+
+    #[test]
+    fn shared_query_counted_once() {
+        // Two identical targets: improving both toward the same query must
+        // not double-count it.
+        let inst = Instance::new(
+            vec![vec![0.9, 0.9], vec![0.9, 0.9], vec![0.1, 0.1]],
+            vec![TopKQuery::new(vec![0.5, 0.5], 1)],
+        )
+        .unwrap();
+        let idx = QueryIndex::build(&inst);
+        let cost = EuclideanCost;
+        let specs = [
+            TargetSpec { target: 0, cost_fn: &cost, bounds: StrategyBounds::unbounded(2) },
+            TargetSpec { target: 1, cost_fn: &cost, bounds: StrategyBounds::unbounded(2) },
+        ];
+        let r = multi_min_cost_iq(&inst, &idx, &specs, 1, 100);
+        assert!(r.achieved);
+        assert_eq!(r.hits_after, 1);
+        // Only one target should have paid anything.
+        let movers = r.costs.iter().filter(|&&c| c > 1e-9).count();
+        assert_eq!(movers, 1, "both targets moved: {:?}", r.costs);
+    }
+
+    #[test]
+    fn zero_budget_zero_movement() {
+        let inst = random_instance(15, 20, 2, 3, 3);
+        let idx = QueryIndex::build(&inst);
+        let cost = EuclideanCost;
+        let specs = [TargetSpec {
+            target: 0,
+            cost_fn: &cost,
+            bounds: StrategyBounds::unbounded(2),
+        }];
+        let r = multi_max_hit_iq(&inst, &idx, &specs, 0.0, 100);
+        assert_eq!(r.hits_after, r.hits_before);
+        assert!(r.strategies[0].is_zero(1e-12));
+    }
+}

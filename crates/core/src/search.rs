@@ -1,0 +1,590 @@
+//! Greedy improvement-strategy search: Algorithm 3 (Min-Cost IQ) and
+//! Algorithm 4 (Max-Hit IQ).
+//!
+//! Both algorithms iterate the same candidate-generation step: for every
+//! query the target does not yet hit, solve the single-constraint
+//! subproblem (Eqs. 13–14) for the cheapest strategy hitting *that* query,
+//! score each candidate with ESE, and commit the candidate with the best
+//! cost-per-hit ratio. Min-Cost stops at `τ` hits; Max-Hit stops when the
+//! budget `β` is exhausted (with a final fill pass over the remaining
+//! affordable candidates, Algorithm 4 lines 13–17).
+
+use crate::cost::{CostFunction, StrategyBounds};
+use crate::ese::TargetEvaluator;
+use crate::model::{ImprovementStrategy, Instance};
+use crate::subdomain::QueryIndex;
+use iq_geometry::Vector;
+
+/// Tuning knobs shared by both greedy searches.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Hard cap on greedy iterations (defense against oscillation).
+    pub max_iterations: usize,
+    /// Stop after this many consecutive iterations without a hit-count
+    /// improvement (the local-optimum escape hatch the paper acknowledges).
+    pub max_stalls: usize,
+    /// When set, only the `cap` cheapest per-query candidates are scored
+    /// with a full `H(p + s)` evaluation each iteration (the subproblem
+    /// solutions themselves are still computed for every unhit query —
+    /// they are closed-form and cheap). `None` is the literal Algorithm
+    /// 3/4 behaviour; benchmarks set a uniform cap so the slow comparator
+    /// evaluators stay tractable at large `|Q|` without changing the
+    /// relative comparison.
+    pub candidate_cap: Option<usize>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { max_iterations: 10_000, max_stalls: 3, candidate_cap: None }
+    }
+}
+
+/// The outcome of an improvement query.
+#[derive(Debug, Clone)]
+pub struct IqReport {
+    /// The cumulative strategy found (`p' = p + strategy`).
+    pub strategy: ImprovementStrategy,
+    /// `Cost(strategy)` under the supplied cost function.
+    pub cost: f64,
+    /// Hit count before improvement.
+    pub hits_before: usize,
+    /// Hit count after applying the strategy.
+    pub hits_after: usize,
+    /// Greedy iterations executed.
+    pub iterations: usize,
+    /// Candidate strategies evaluated with ESE (work metric).
+    pub candidates_evaluated: usize,
+    /// Whether the improvement goal was met (`≥ τ` hits, or budget-bounded
+    /// maximisation completed).
+    pub achieved: bool,
+}
+
+impl IqReport {
+    /// The paper's unified quality metric: cost per hit query (lower is
+    /// better). Infinite when nothing is hit.
+    pub fn cost_per_hit(&self) -> f64 {
+        if self.hits_after == 0 {
+            f64::INFINITY
+        } else {
+            self.cost / self.hits_after as f64
+        }
+    }
+}
+
+/// The evaluation interface the greedy searches run against. The paper's
+/// Efficient-IQ scheme plugs in [`TargetEvaluator`] (subdomain-indexed ESE);
+/// the RTA-IQ baseline plugs in an RTA-backed evaluator — the search is
+/// byte-for-byte the same, which is why the two schemes return strategies
+/// of identical quality (§6.3.2).
+pub trait HitEvaluator {
+    /// The instance being improved.
+    fn instance(&self) -> &Instance;
+    /// Current `H(p + applied)`.
+    fn hit_count(&self) -> usize;
+    /// Whether query `q` is currently hit.
+    fn is_hit(&self, q: usize) -> bool;
+    /// Right-hand side of the hit condition `w_q · s ≤ rhs` for query `q`,
+    /// or `None` when trivially hit.
+    fn required_rhs(&self, q: usize) -> Option<f64>;
+    /// `H(p + applied + s)` without committing.
+    fn evaluate(&mut self, s: &ImprovementStrategy) -> usize;
+    /// Commits `s` on top of the already-applied strategy.
+    fn apply(&mut self, s: &ImprovementStrategy);
+    /// The cumulative committed strategy.
+    fn applied(&self) -> &ImprovementStrategy;
+}
+
+impl HitEvaluator for TargetEvaluator<'_> {
+    fn instance(&self) -> &Instance {
+        TargetEvaluator::instance(self)
+    }
+    fn hit_count(&self) -> usize {
+        TargetEvaluator::hit_count(self)
+    }
+    fn is_hit(&self, q: usize) -> bool {
+        TargetEvaluator::is_hit(self, q)
+    }
+    fn required_rhs(&self, q: usize) -> Option<f64> {
+        TargetEvaluator::required_rhs(self, q)
+    }
+    fn evaluate(&mut self, s: &ImprovementStrategy) -> usize {
+        TargetEvaluator::evaluate(self, s)
+    }
+    fn apply(&mut self, s: &ImprovementStrategy) {
+        TargetEvaluator::apply(self, s)
+    }
+    fn applied(&self) -> &ImprovementStrategy {
+        TargetEvaluator::applied(self)
+    }
+}
+
+struct Candidate {
+    query: usize,
+    strategy: Vector,
+    cost_inc: f64,
+    hits_after: usize,
+}
+
+/// Generates the candidate set `S` of one greedy iteration: per unhit
+/// query, the cheapest strategy that hits it, scored with the evaluator.
+/// With `candidate_cap` set, only the cheapest `cap` subproblem solutions
+/// receive a hit-count evaluation.
+fn candidates<E: HitEvaluator>(
+    ev: &mut E,
+    cost_fn: &dyn CostFunction,
+    rem_bounds: &StrategyBounds,
+    opts: &SearchOptions,
+    evaluated: &mut usize,
+) -> Vec<Candidate> {
+    let m = ev.instance().num_queries();
+    let mut solved: Vec<(usize, Vector, f64)> = Vec::new();
+    for q in 0..m {
+        if ev.is_hit(q) {
+            continue;
+        }
+        let Some(rhs) = ev.required_rhs(q) else {
+            continue;
+        };
+        let weights = ev.instance().queries()[q].weights.clone();
+        let Some((s, c)) = cost_fn.min_cost_to_satisfy(&weights, rhs, rem_bounds) else {
+            continue;
+        };
+        solved.push((q, s, c));
+    }
+    if let Some(cap) = opts.candidate_cap {
+        if solved.len() > cap {
+            solved.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+            solved.truncate(cap);
+        }
+    }
+    solved
+        .into_iter()
+        .map(|(query, strategy, cost_inc)| {
+            *evaluated += 1;
+            let hits_after = ev.evaluate(&strategy);
+            Candidate { query, strategy, cost_inc, hits_after }
+        })
+        .collect()
+}
+
+fn best_ratio(cands: &[Candidate]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in cands.iter().enumerate() {
+        let ratio = if c.hits_after == 0 {
+            f64::INFINITY
+        } else {
+            c.cost_inc / c.hits_after as f64
+        };
+        if best.is_none_or(|(_, b)| ratio < b) {
+            best = Some((i, ratio));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// **Algorithm 3** — Min-Cost IQ: the cheapest strategy making the target
+/// hit at least `tau` queries, via the subdomain-indexed ESE evaluator.
+pub fn min_cost_iq(
+    instance: &Instance,
+    index: &QueryIndex,
+    target: usize,
+    tau: usize,
+    cost_fn: &dyn CostFunction,
+    bounds: &StrategyBounds,
+    opts: &SearchOptions,
+) -> IqReport {
+    let mut ev = TargetEvaluator::new(instance, index, target);
+    run_min_cost(&mut ev, tau, cost_fn, bounds, opts)
+}
+
+/// Algorithm 3 over any [`HitEvaluator`] implementation.
+pub fn run_min_cost<E: HitEvaluator>(
+    ev: &mut E,
+    tau: usize,
+    cost_fn: &dyn CostFunction,
+    bounds: &StrategyBounds,
+    opts: &SearchOptions,
+) -> IqReport {
+    let hits_before = ev.hit_count();
+    let mut iterations = 0;
+    let mut evaluated = 0;
+    let mut stalls = 0;
+
+    while ev.hit_count() < tau && iterations < opts.max_iterations {
+        iterations += 1;
+        let rem = bounds.remaining(ev.applied());
+        let cands = candidates(ev, cost_fn, &rem, opts, &mut evaluated);
+        let Some(best) = best_ratio(&cands) else {
+            break; // no query can be hit within the remaining bounds
+        };
+        if cands[best].hits_after <= tau {
+            // Apply the best-ratio candidate and keep iterating
+            // (Algorithm 3 lines 10–11).
+            let before = ev.hit_count();
+            let s = cands[best].strategy.clone();
+            ev.apply(&s);
+            if ev.hit_count() <= before {
+                stalls += 1;
+                if stalls >= opts.max_stalls {
+                    break;
+                }
+            } else {
+                stalls = 0;
+            }
+        } else {
+            // Overshoot: take the cheapest candidate that reaches τ
+            // (Algorithm 3 line 13) and stop.
+            let winner = cands
+                .iter()
+                .filter(|c| c.hits_after >= tau)
+                .min_by(|a, b| a.cost_inc.partial_cmp(&b.cost_inc).unwrap())
+                .expect("best candidate exceeds tau, so the filter is non-empty");
+            let s = winner.strategy.clone();
+            ev.apply(&s);
+            break;
+        }
+    }
+
+    let strategy = ev.applied().clone();
+    IqReport {
+        cost: cost_fn.cost(&strategy),
+        hits_before,
+        hits_after: ev.hit_count(),
+        iterations,
+        candidates_evaluated: evaluated,
+        achieved: ev.hit_count() >= tau,
+        strategy,
+    }
+}
+
+/// **Algorithm 4** — Max-Hit IQ: the strategy hitting the most queries with
+/// total (incrementally charged) cost at most `budget`, via the
+/// subdomain-indexed ESE evaluator.
+pub fn max_hit_iq(
+    instance: &Instance,
+    index: &QueryIndex,
+    target: usize,
+    budget: f64,
+    cost_fn: &dyn CostFunction,
+    bounds: &StrategyBounds,
+    opts: &SearchOptions,
+) -> IqReport {
+    let mut ev = TargetEvaluator::new(instance, index, target);
+    run_max_hit(&mut ev, budget, cost_fn, bounds, opts)
+}
+
+/// Algorithm 4 over any [`HitEvaluator`] implementation.
+pub fn run_max_hit<E: HitEvaluator>(
+    ev: &mut E,
+    budget: f64,
+    cost_fn: &dyn CostFunction,
+    bounds: &StrategyBounds,
+    opts: &SearchOptions,
+) -> IqReport {
+    let hits_before = ev.hit_count();
+    let mut iterations = 0;
+    let mut evaluated = 0;
+    let mut spent = 0.0f64;
+    let mut stalls = 0;
+
+    while spent < budget && iterations < opts.max_iterations {
+        iterations += 1;
+        let rem = bounds.remaining(ev.applied());
+        let mut cands = candidates(ev, cost_fn, &rem, opts, &mut evaluated);
+        let Some(best) = best_ratio(&cands) else {
+            break;
+        };
+        if spent + cands[best].cost_inc <= budget {
+            let before = ev.hit_count();
+            let s = cands[best].strategy.clone();
+            spent += cands[best].cost_inc;
+            ev.apply(&s);
+            if ev.hit_count() <= before {
+                stalls += 1;
+                if stalls >= opts.max_stalls {
+                    break;
+                }
+            } else {
+                stalls = 0;
+            }
+        } else {
+            // Budget cannot cover the best candidate: final fill pass over
+            // the rest, cheapest first (Algorithm 4 lines 13–17).
+            cands.sort_by(|a, b| a.cost_inc.partial_cmp(&b.cost_inc).unwrap());
+            for c in cands {
+                if spent + c.cost_inc <= budget && !ev.is_hit(c.query) {
+                    spent += c.cost_inc;
+                    ev.apply(&c.strategy);
+                }
+            }
+            break;
+        }
+    }
+
+    let strategy = ev.applied().clone();
+    IqReport {
+        cost: cost_fn.cost(&strategy),
+        hits_before,
+        hits_after: ev.hit_count(),
+        iterations,
+        candidates_evaluated: evaluated,
+        achieved: true,
+        strategy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::EuclideanCost;
+    use crate::model::TopKQuery;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    fn random_instance(n: usize, m: usize, d: usize, kmax: usize, seed: u64) -> Instance {
+        let mut rnd = lcg(seed);
+        let objects: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rnd()).collect()).collect();
+        let queries: Vec<TopKQuery> = (0..m)
+            .map(|_| {
+                let w: Vec<f64> = (0..d).map(|_| rnd()).collect();
+                TopKQuery::new(w, 1 + (rnd() * kmax as f64) as usize)
+            })
+            .collect();
+        Instance::new(objects, queries).unwrap()
+    }
+
+    fn defaults() -> (EuclideanCost, SearchOptions) {
+        (EuclideanCost, SearchOptions::default())
+    }
+
+    #[test]
+    fn min_cost_reaches_tau_and_is_consistent() {
+        let inst = random_instance(40, 60, 3, 4, 11);
+        let idx = QueryIndex::build(&inst);
+        let (cost, opts) = defaults();
+        let target = 20;
+        let bounds = StrategyBounds::unbounded(3);
+        let before = inst.hit_count_naive(target);
+        let tau = (before + 10).min(inst.num_queries());
+        let report = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &opts);
+        assert!(report.achieved, "failed to reach tau: {report:?}");
+        assert!(report.hits_after >= tau);
+        assert_eq!(report.hits_before, before);
+        // The reported hit count matches ground truth on a fresh instance.
+        let improved = inst.with_strategy(target, &report.strategy);
+        assert_eq!(improved.hit_count_naive(target), report.hits_after);
+        assert!(report.cost > 0.0);
+    }
+
+    #[test]
+    fn min_cost_tau_already_met_returns_zero() {
+        let inst = random_instance(30, 40, 2, 5, 5);
+        let idx = QueryIndex::build(&inst);
+        let (cost, opts) = defaults();
+        // Pick the most popular object; tau = its current hits.
+        let target = (0..30)
+            .max_by_key(|&t| inst.hit_count_naive(t))
+            .unwrap();
+        let tau = inst.hit_count_naive(target);
+        let bounds = StrategyBounds::unbounded(2);
+        let report = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &opts);
+        assert!(report.achieved);
+        assert_eq!(report.cost, 0.0);
+        assert_eq!(report.iterations, 0);
+        assert!(report.strategy.is_zero(0.0));
+    }
+
+    #[test]
+    fn min_cost_monotone_in_tau() {
+        let inst = random_instance(35, 50, 3, 3, 77);
+        let idx = QueryIndex::build(&inst);
+        let (cost, opts) = defaults();
+        let target = 7;
+        let bounds = StrategyBounds::unbounded(3);
+        let base = inst.hit_count_naive(target);
+        let mut prev = 0.0;
+        for extra in [2usize, 5, 10, 20] {
+            let tau = (base + extra).min(inst.num_queries());
+            let r = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &opts);
+            if r.achieved {
+                assert!(
+                    r.cost + 1e-9 >= prev,
+                    "cost decreased when tau grew: {} after {}",
+                    r.cost,
+                    prev
+                );
+                prev = r.cost;
+            }
+        }
+    }
+
+    #[test]
+    fn min_cost_respects_frozen_attributes() {
+        let inst = random_instance(30, 40, 3, 3, 31);
+        let idx = QueryIndex::build(&inst);
+        let (cost, opts) = defaults();
+        let target = 3;
+        let bounds = StrategyBounds::unbounded(3).freeze(0).freeze(2);
+        let tau = (inst.hit_count_naive(target) + 5).min(inst.num_queries());
+        let r = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &opts);
+        assert!(r.strategy[0].abs() < 1e-6, "frozen attr 0 moved: {:?}", r.strategy);
+        assert!(r.strategy[2].abs() < 1e-6, "frozen attr 2 moved: {:?}", r.strategy);
+        let improved = inst.with_strategy(target, &r.strategy);
+        assert_eq!(improved.hit_count_naive(target), r.hits_after);
+    }
+
+    #[test]
+    fn max_hit_respects_budget_and_improves() {
+        let inst = random_instance(40, 60, 3, 4, 19);
+        let idx = QueryIndex::build(&inst);
+        let (cost, opts) = defaults();
+        let target = 0;
+        let bounds = StrategyBounds::unbounded(3);
+        let before = inst.hit_count_naive(target);
+        let r = max_hit_iq(&inst, &idx, target, 0.5, &cost, &bounds, &opts);
+        assert!(r.hits_after >= before, "max-hit lost hits");
+        // Cumulative cost is within budget (triangle inequality keeps the
+        // final strategy's cost at or below the sum of increments charged).
+        assert!(r.cost <= 0.5 + 1e-6, "over budget: {}", r.cost);
+        let improved = inst.with_strategy(target, &r.strategy);
+        assert_eq!(improved.hit_count_naive(target), r.hits_after);
+    }
+
+    #[test]
+    fn max_hit_monotone_in_budget() {
+        let inst = random_instance(35, 50, 3, 3, 23);
+        let idx = QueryIndex::build(&inst);
+        let (cost, opts) = defaults();
+        let bounds = StrategyBounds::unbounded(3);
+        let mut prev = 0usize;
+        for budget in [0.0, 0.1, 0.3, 0.8, 2.0] {
+            let r = max_hit_iq(&inst, &idx, 12, budget, &cost, &bounds, &opts);
+            assert!(
+                r.hits_after >= prev,
+                "hits dropped as budget grew: {} after {}",
+                r.hits_after,
+                prev
+            );
+            prev = r.hits_after;
+        }
+    }
+
+    #[test]
+    fn max_hit_zero_budget_is_identity() {
+        let inst = random_instance(20, 30, 2, 3, 41);
+        let idx = QueryIndex::build(&inst);
+        let (cost, opts) = defaults();
+        let bounds = StrategyBounds::unbounded(2);
+        let r = max_hit_iq(&inst, &idx, 5, 0.0, &cost, &bounds, &opts);
+        assert_eq!(r.hits_after, r.hits_before);
+        assert!(r.strategy.is_zero(1e-12));
+    }
+
+    #[test]
+    fn binary_search_reduction_mincost_via_maxhit() {
+        // §4.2.2: binary-searching the budget of Max-Hit recovers a cost
+        // close to what Min-Cost finds directly.
+        let inst = random_instance(25, 40, 2, 3, 53);
+        let idx = QueryIndex::build(&inst);
+        let (cost, opts) = defaults();
+        let bounds = StrategyBounds::unbounded(2);
+        let target = 2;
+        let tau = (inst.hit_count_naive(target) + 6).min(inst.num_queries());
+        let direct = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &opts);
+        assert!(direct.achieved);
+
+        let (mut lo, mut hi) = (0.0f64, direct.cost * 4.0 + 1.0);
+        for _ in 0..30 {
+            let mid = 0.5 * (lo + hi);
+            let r = max_hit_iq(&inst, &idx, target, mid, &cost, &bounds, &opts);
+            if r.hits_after >= tau {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        // Both are heuristics; the reduction should land in the same
+        // ballpark (within 3× here), not exactly equal.
+        assert!(
+            hi <= direct.cost * 3.0 + 1e-6,
+            "binary search budget {hi} far above direct cost {}",
+            direct.cost
+        );
+    }
+
+    #[test]
+    fn candidate_cap_preserves_goal_achievement() {
+        let inst = random_instance(40, 60, 3, 4, 67);
+        let idx = QueryIndex::build(&inst);
+        let cost = EuclideanCost;
+        let bounds = StrategyBounds::unbounded(3);
+        let target = 9;
+        let tau = (inst.hit_count_naive(target) + 8).min(inst.num_queries());
+        let uncapped = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds,
+                                   &SearchOptions::default());
+        let capped_opts = SearchOptions { candidate_cap: Some(4), ..Default::default() };
+        let capped = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &capped_opts);
+        assert!(uncapped.achieved && capped.achieved);
+        // The cap trades a little quality for a lot of work.
+        assert!(capped.candidates_evaluated <= uncapped.candidates_evaluated);
+        assert!(capped.cost <= uncapped.cost * 3.0 + 1e-9, "cap degraded cost too far");
+        let improved = inst.with_strategy(target, &capped.strategy);
+        assert_eq!(improved.hit_count_naive(target), capped.hits_after);
+    }
+
+    #[test]
+    fn min_cost_with_l1_cost_function() {
+        use crate::cost::L1Cost;
+        let inst = random_instance(30, 40, 3, 3, 81);
+        let idx = QueryIndex::build(&inst);
+        let bounds = StrategyBounds::unbounded(3);
+        let target = 6;
+        let tau = (inst.hit_count_naive(target) + 5).min(inst.num_queries());
+        let r = min_cost_iq(&inst, &idx, target, tau, &L1Cost, &bounds,
+                            &SearchOptions::default());
+        assert!(r.achieved, "{r:?}");
+        assert!((r.cost - r.strategy.norm_l1()).abs() < 1e-9);
+        let improved = inst.with_strategy(target, &r.strategy);
+        assert_eq!(improved.hit_count_naive(target), r.hits_after);
+    }
+
+    #[test]
+    fn max_hit_with_asymmetric_cost() {
+        use crate::cost::AsymmetricLinearCost;
+        let inst = random_instance(30, 40, 2, 3, 87);
+        let idx = QueryIndex::build(&inst);
+        // Decreasing attributes is cheap, increasing expensive: the search
+        // should only ever decrease.
+        let cost = AsymmetricLinearCost::new(vec![50.0, 50.0], vec![1.0, 1.0]);
+        let bounds = StrategyBounds::unbounded(2);
+        let r = max_hit_iq(&inst, &idx, 4, 0.5, &cost, &bounds, &SearchOptions::default());
+        assert!(r.cost <= 0.5 + 1e-6);
+        assert!(r.strategy.iter().all(|&v| v <= 1e-9), "increased: {:?}", r.strategy);
+        let improved = inst.with_strategy(4, &r.strategy);
+        assert_eq!(improved.hit_count_naive(4), r.hits_after);
+    }
+
+    #[test]
+    fn cost_per_hit_metric() {
+        let r = IqReport {
+            strategy: Vector::zeros(2),
+            cost: 4.0,
+            hits_before: 0,
+            hits_after: 8,
+            iterations: 1,
+            candidates_evaluated: 10,
+            achieved: true,
+        };
+        assert_eq!(r.cost_per_hit(), 0.5);
+        let r0 = IqReport { hits_after: 0, ..r };
+        assert_eq!(r0.cost_per_hit(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,461 @@
+//! Incremental data updating (§4.3): adding/removing queries and objects
+//! without rebuilding the subdomain index.
+//!
+//! * **Add query** — the paper's heuristic: probe the subdomains of the new
+//!   point's k nearest neighbours before falling back to a full
+//!   computation. Our probe is *exact*: a candidate subdomain is accepted
+//!   only if (a) its candidate list is correctly ordered under the new
+//!   query (the paper's boundary-intersection check) and (b) no outside
+//!   object beats the list's tail — together these pin the new query's
+//!   top-`K'` exactly, so a fast-accept never mis-assigns.
+//! * **Remove query** — O(1) swap-removal with id patching.
+//! * **Add object** — every query whose candidate list the newcomer
+//!   penetrates (score better than the list tail) is recomputed and
+//!   regrouped; everyone else is untouched.
+//! * **Remove object** — only the highest-id object can be removed (ids
+//!   stay stable). The §4.3 bloom filter gives a fast *definitely
+//!   unaffected* answer; otherwise the subdomains whose candidate list
+//!   mentions the object are rebuilt.
+
+use crate::model::{Instance, ModelError, TopKQuery};
+use crate::subdomain::{QueryIndex, SubdomainEntry};
+use iq_topk::naive::{self, rank_cmp, score};
+
+/// Statistics about how much work an update operation did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Queries whose candidate list was recomputed from scratch.
+    pub toplists_recomputed: usize,
+    /// Queries assigned via the kNN fast path (no full recomputation).
+    pub fast_assignments: usize,
+    /// Whether the bloom filter short-circuited an object removal.
+    pub bloom_short_circuit: bool,
+}
+
+/// How many nearest neighbours to probe for candidate subdomains.
+const KNN_CANDIDATES: usize = 4;
+
+fn compute_toplist(instance: &Instance, weights: &[f64], kprime: usize) -> Vec<u32> {
+    naive::top_k(instance.objects(), weights, kprime)
+        .into_iter()
+        .map(|i| i as u32)
+        .collect()
+}
+
+/// Exact membership probe: is `toplist` the correct ordered top-`K'` for
+/// `weights`? Checks (a) internal order and (b) that no outside object
+/// penetrates the tail. `O(K'·d + n·d)` without sorting.
+fn toplist_matches(instance: &Instance, weights: &[f64], toplist: &[u32]) -> bool {
+    // (a) ordered under this query, with the id tie-break.
+    let scores: Vec<f64> = toplist
+        .iter()
+        .map(|&o| score(instance.object(o as usize), weights))
+        .collect();
+    for w in 0..toplist.len().saturating_sub(1) {
+        if rank_cmp(
+            scores[w],
+            toplist[w] as usize,
+            scores[w + 1],
+            toplist[w + 1] as usize,
+        ) != std::cmp::Ordering::Less
+        {
+            return false;
+        }
+    }
+    // (b) no outsider beats the tail.
+    let Some((&tail, &tail_score)) = toplist.last().zip(scores.last()) else {
+        return instance.num_objects() == 0;
+    };
+    let member: std::collections::HashSet<u32> = toplist.iter().copied().collect();
+    for (o, attrs) in instance.objects().iter().enumerate() {
+        if member.contains(&(o as u32)) {
+            continue;
+        }
+        let s = score(attrs, weights);
+        if rank_cmp(s, o, tail_score, tail as usize) == std::cmp::Ordering::Less {
+            return false;
+        }
+    }
+    true
+}
+
+fn assign_to_subdomain(index: &mut QueryIndex, qid: usize, toplist: Vec<u32>) {
+    let sd = match index.by_toplist.get(&toplist) {
+        Some(&sd) => sd,
+        None => {
+            let sd = index.subdomains.len() as u32;
+            for &o in &toplist {
+                index.boundary_filter.insert(&o);
+            }
+            index.subdomains.push(SubdomainEntry { queries: Vec::new(), toplist: toplist.clone() });
+            index.by_toplist.insert(toplist, sd);
+            sd
+        }
+    };
+    index.subdomains[sd as usize].queries.push(qid as u32);
+    if qid == index.subdomain_of.len() {
+        index.subdomain_of.push(sd);
+    } else {
+        index.subdomain_of[qid] = sd;
+    }
+}
+
+fn detach_from_subdomain(index: &mut QueryIndex, qid: usize) {
+    let sd = index.subdomain_of[qid] as usize;
+    let members = &mut index.subdomains[sd].queries;
+    if let Some(pos) = members.iter().position(|&q| q == qid as u32) {
+        members.swap_remove(pos);
+    }
+    if members.is_empty() {
+        // Keep the entry (ids are stable) but drop the lookup so a future
+        // identical toplist re-uses it cleanly.
+        let toplist = index.subdomains[sd].toplist.clone();
+        index.by_toplist.remove(&toplist);
+        // Re-adding the same toplist later creates a fresh entry; the empty
+        // one stays as a tombstone.
+    }
+}
+
+/// **Add a query** (§4.3): kNN-candidate fast path with exact verification,
+/// falling back to a full top-`K'` computation. Returns the new query id.
+pub fn add_query(
+    instance: &mut Instance,
+    index: &mut QueryIndex,
+    query: TopKQuery,
+    stats: &mut UpdateStats,
+) -> Result<usize, ModelError> {
+    assert!(
+        query.k < index.kprime,
+        "query k = {} exceeds the index's K' = {}; rebuild with a larger max k",
+        query.k,
+        index.kprime
+    );
+    let weights = query.weights.clone();
+    let qid = instance.push_query(query)?;
+
+    // Candidate subdomains from the nearest indexed query points.
+    let mut assigned = false;
+    let mut probed: Vec<u32> = Vec::new();
+    for (entry, _) in index.rtree.nearest_k(&weights, KNN_CANDIDATES) {
+        let sd = index.subdomain_of[entry.data];
+        if probed.contains(&sd) {
+            continue;
+        }
+        probed.push(sd);
+        let toplist = index.subdomains[sd as usize].toplist.clone();
+        if toplist_matches(instance, &weights, &toplist) {
+            assign_to_subdomain(index, qid, toplist);
+            stats.fast_assignments += 1;
+            assigned = true;
+            break;
+        }
+    }
+    if !assigned {
+        let toplist = compute_toplist(instance, &weights, index.kprime);
+        stats.toplists_recomputed += 1;
+        assign_to_subdomain(index, qid, toplist);
+    }
+    index.rtree.insert(weights, qid);
+    Ok(qid)
+}
+
+/// **Remove a query** (§4.3): O(1) swap-removal. The previously-last query
+/// takes over the removed id; all index structures are patched.
+pub fn remove_query(
+    instance: &mut Instance,
+    index: &mut QueryIndex,
+    qid: usize,
+) -> Option<TopKQuery> {
+    let last = instance.num_queries().checked_sub(1)?;
+    if qid > last {
+        return None;
+    }
+    let removed = instance.swap_remove_query(qid)?;
+    // Drop the removed query from its structures. The instance has already
+    // been mutated, so an R-tree miss here would mean the index was
+    // corrupt before this call — fail loudly rather than desynchronize.
+    index
+        .rtree
+        .remove(&removed.weights, |&d| d == qid)
+        .expect("query index out of sync: point missing from R-tree");
+    detach_from_subdomain(index, qid);
+
+    if qid != last {
+        // The old last query now lives at `qid`; patch its id everywhere.
+        let moved_weights = instance.queries()[qid].weights.clone();
+        index.rtree.remove(&moved_weights, |&d| d == last);
+        index.rtree.insert(moved_weights, qid);
+        let sd = index.subdomain_of[last] as usize;
+        if let Some(pos) = index.subdomains[sd].queries.iter().position(|&q| q == last as u32) {
+            index.subdomains[sd].queries[pos] = qid as u32;
+        }
+        index.subdomain_of[qid] = index.subdomain_of[last];
+    }
+    index.subdomain_of.pop();
+    Some(removed)
+}
+
+/// **Add an object** (§4.3): recompute only the queries whose candidate
+/// list the newcomer penetrates. Returns the new object id.
+pub fn add_object(
+    instance: &mut Instance,
+    index: &mut QueryIndex,
+    attrs: Vec<f64>,
+    stats: &mut UpdateStats,
+) -> Result<usize, ModelError> {
+    let oid = instance.push_object(attrs)?;
+    // Collect affected queries per subdomain (penetration is per query:
+    // the newcomer's score varies inside a subdomain).
+    let mut reassign: Vec<(usize, Vec<u32>)> = Vec::new();
+    for sd in 0..index.subdomains.len() {
+        let entry = &index.subdomains[sd];
+        let Some(&tail) = entry.toplist.last() else {
+            continue;
+        };
+        for &q in &entry.queries {
+            let weights = &instance.queries()[q as usize].weights;
+            let new_score = score(instance.object(oid), weights);
+            let tail_score = score(instance.object(tail as usize), weights);
+            let penetrates =
+                rank_cmp(new_score, oid, tail_score, tail as usize) == std::cmp::Ordering::Less
+                    || entry.toplist.len() < index.kprime;
+            if penetrates {
+                let toplist = compute_toplist(instance, weights, index.kprime);
+                stats.toplists_recomputed += 1;
+                reassign.push((q as usize, toplist));
+            }
+        }
+    }
+    for (q, toplist) in reassign {
+        detach_from_subdomain(index, q);
+        assign_to_subdomain(index, q, toplist);
+    }
+    Ok(oid)
+}
+
+/// **Remove the last object** (§4.3): the bloom filter answers "definitely
+/// not a boundary object" without touching any subdomain; otherwise every
+/// subdomain mentioning the object rebuilds its members' candidate lists.
+pub fn remove_last_object(
+    instance: &mut Instance,
+    index: &mut QueryIndex,
+    stats: &mut UpdateStats,
+) -> Option<Vec<f64>> {
+    let oid = instance.num_objects().checked_sub(1)?;
+    let removed = instance.pop_object()?;
+
+    if !index.may_be_boundary_object(oid) {
+        // The object never appeared in any candidate list — no query's
+        // ranking prefix can change (§4.3's fast path).
+        stats.bloom_short_circuit = true;
+        return Some(removed);
+    }
+    let mut reassign: Vec<(usize, Vec<u32>)> = Vec::new();
+    for sd in 0..index.subdomains.len() {
+        let entry = &index.subdomains[sd];
+        if !entry.toplist.contains(&(oid as u32)) {
+            continue;
+        }
+        for &q in &entry.queries {
+            let weights = &instance.queries()[q as usize].weights;
+            let toplist = compute_toplist(instance, weights, index.kprime);
+            stats.toplists_recomputed += 1;
+            reassign.push((q as usize, toplist));
+        }
+    }
+    for (q, toplist) in reassign {
+        detach_from_subdomain(index, q);
+        assign_to_subdomain(index, q, toplist);
+    }
+    Some(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subdomain::QueryIndex;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    fn random_instance(n: usize, m: usize, d: usize, kmax: usize, seed: u64) -> Instance {
+        let mut rnd = lcg(seed);
+        let objects: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rnd()).collect()).collect();
+        let queries: Vec<TopKQuery> = (0..m)
+            .map(|_| {
+                let w: Vec<f64> = (0..d).map(|_| rnd()).collect();
+                TopKQuery::new(w, 1 + (rnd() * kmax as f64) as usize)
+            })
+            .collect();
+        Instance::new(objects, queries).unwrap()
+    }
+
+    /// The maintained index must be indistinguishable from a rebuild:
+    /// identical toplists and identical query partition.
+    fn assert_equivalent_to_rebuild(instance: &Instance, index: &QueryIndex) {
+        index.check_invariants(instance).unwrap();
+        // The maintained index keeps its original K'; a fresh rebuild may
+        // pick a smaller one after max-k queries were removed. Compare the
+        // common prefix (the rankings must agree there).
+        let fresh = QueryIndex::build(instance);
+        let common = index.kprime().min(fresh.kprime());
+        for q in 0..instance.num_queries() {
+            assert_eq!(
+                &index.toplist_of(q)[..common.min(index.toplist_of(q).len())],
+                &fresh.toplist_of(q)[..common.min(fresh.toplist_of(q).len())],
+                "query {q} toplist differs from rebuild"
+            );
+        }
+        // Partition consistency: the maintained grouping must refine the
+        // rebuild's (equal when K' matches; a larger K' may only split).
+        for a in 0..instance.num_queries() {
+            for b in (a + 1)..instance.num_queries() {
+                let together = index.subdomain_of(a) == index.subdomain_of(b);
+                let fresh_together = fresh.subdomain_of(a) == fresh.subdomain_of(b);
+                if together {
+                    assert!(fresh_together, "maintained grouping coarser for {a},{b}");
+                }
+                if index.kprime() == fresh.kprime() {
+                    assert_eq!(together, fresh_together, "partition differs for {a},{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_queries_incrementally() {
+        let mut inst = random_instance(30, 20, 3, 4, 5);
+        let mut index = QueryIndex::build(&inst);
+        let mut rnd = lcg(88);
+        let mut stats = UpdateStats::default();
+        for _ in 0..25 {
+            let w: Vec<f64> = (0..3).map(|_| rnd()).collect();
+            let k = 1 + (rnd() * 4.0) as usize;
+            add_query(&mut inst, &mut index, TopKQuery::new(w, k), &mut stats).unwrap();
+        }
+        assert_equivalent_to_rebuild(&inst, &index);
+    }
+
+    #[test]
+    fn knn_fast_path_fires_for_clustered_queries() {
+        let mut rnd = lcg(12);
+        let objects: Vec<Vec<f64>> = (0..40).map(|_| vec![rnd(), rnd()]).collect();
+        let queries: Vec<TopKQuery> = (0..30)
+            .map(|_| TopKQuery::new(vec![0.5 + rnd() * 0.01, 0.5 + rnd() * 0.01], 3))
+            .collect();
+        let mut inst = Instance::new(objects, queries).unwrap();
+        let mut index = QueryIndex::build(&inst);
+        let mut stats = UpdateStats::default();
+        for _ in 0..20 {
+            let q = TopKQuery::new(vec![0.5 + rnd() * 0.01, 0.5 + rnd() * 0.01], 3);
+            add_query(&mut inst, &mut index, q, &mut stats).unwrap();
+        }
+        assert!(
+            stats.fast_assignments >= 15,
+            "kNN fast path barely fired: {stats:?}"
+        );
+        assert_equivalent_to_rebuild(&inst, &index);
+    }
+
+    #[test]
+    fn remove_queries_with_id_patching() {
+        let mut inst = random_instance(25, 30, 3, 3, 9);
+        let mut index = QueryIndex::build(&inst);
+        // Remove from the middle, the front, and the back.
+        for qid in [15usize, 0, 20, 5, 11] {
+            let removed = remove_query(&mut inst, &mut index, qid);
+            assert!(removed.is_some(), "removal of {qid} failed");
+            assert_equivalent_to_rebuild(&inst, &index);
+        }
+        assert_eq!(inst.num_queries(), 25);
+        assert!(remove_query(&mut inst, &mut index, 999).is_none());
+    }
+
+    #[test]
+    fn add_objects_incrementally() {
+        let mut inst = random_instance(20, 30, 3, 3, 31);
+        let mut index = QueryIndex::build(&inst);
+        let mut rnd = lcg(77);
+        let mut stats = UpdateStats::default();
+        for round in 0..10 {
+            // Alternate between dominated newcomers (no effect) and strong
+            // ones (penetrate many lists).
+            let attrs: Vec<f64> = if round % 2 == 0 {
+                (0..3).map(|_| 0.9 + rnd() * 0.1).collect()
+            } else {
+                (0..3).map(|_| rnd() * 0.2).collect()
+            };
+            add_object(&mut inst, &mut index, attrs, &mut stats).unwrap();
+            assert_equivalent_to_rebuild(&inst, &index);
+        }
+        assert!(stats.toplists_recomputed > 0, "strong objects must disturb lists");
+    }
+
+    #[test]
+    fn remove_last_object_rebuilds_affected() {
+        let mut inst = random_instance(20, 30, 3, 3, 41);
+        let mut index = QueryIndex::build(&inst);
+        let mut stats = UpdateStats::default();
+        for _ in 0..5 {
+            remove_last_object(&mut inst, &mut index, &mut stats).unwrap();
+            assert_equivalent_to_rebuild(&inst, &index);
+        }
+    }
+
+    #[test]
+    fn bloom_short_circuits_irrelevant_object() {
+        // An object dominated by everything never enters any toplist.
+        let mut inst = random_instance(15, 20, 2, 2, 51);
+        let mut index = QueryIndex::build(&inst);
+        let mut stats = UpdateStats::default();
+        add_object(&mut inst, &mut index, vec![50.0, 50.0], &mut stats).unwrap();
+        let before = stats.toplists_recomputed;
+        let mut rm_stats = UpdateStats::default();
+        remove_last_object(&mut inst, &mut index, &mut rm_stats).unwrap();
+        assert_eq!(stats.toplists_recomputed, before);
+        // Usually the filter short-circuits (false positives allowed).
+        if !rm_stats.bloom_short_circuit {
+            assert_eq!(rm_stats.toplists_recomputed, 0);
+        }
+        assert_equivalent_to_rebuild(&inst, &index);
+    }
+
+    #[test]
+    fn mixed_update_storm() {
+        let mut inst = random_instance(25, 25, 2, 3, 61);
+        let mut index = QueryIndex::build(&inst);
+        let mut rnd = lcg(3);
+        let mut stats = UpdateStats::default();
+        for step in 0..40 {
+            match step % 4 {
+                0 => {
+                    let w: Vec<f64> = (0..2).map(|_| rnd()).collect();
+                    add_query(&mut inst, &mut index, TopKQuery::new(w, 1 + step % 3), &mut stats)
+                        .unwrap();
+                }
+                1 => {
+                    let qid =
+                        ((rnd() * inst.num_queries() as f64) as usize).min(inst.num_queries() - 1);
+                    remove_query(&mut inst, &mut index, qid);
+                }
+                2 => {
+                    let attrs: Vec<f64> = (0..2).map(|_| rnd()).collect();
+                    add_object(&mut inst, &mut index, attrs, &mut stats).unwrap();
+                }
+                _ => {
+                    if inst.num_objects() > 10 {
+                        remove_last_object(&mut inst, &mut index, &mut stats);
+                    }
+                }
+            }
+        }
+        assert_equivalent_to_rebuild(&inst, &index);
+    }
+}

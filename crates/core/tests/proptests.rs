@@ -1,0 +1,207 @@
+//! Property-based tests for the improvement-query core: the indexed/ESE
+//! fast paths must agree with exhaustive oracles on arbitrary instances,
+//! and the searches must respect their contracts.
+
+use iq_core::baselines::RtaEvaluator;
+use iq_core::update::{add_object, add_query, remove_query, UpdateStats};
+use iq_core::{
+    max_hit_iq, min_cost_iq, EuclideanCost, HitEvaluator, Instance, QueryIndex, SearchOptions,
+    StrategyBounds, TargetEvaluator, TopKQuery,
+};
+use iq_geometry::Vector;
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    // Lattice coordinates: ties and boundary cases occur constantly.
+    (0i32..8).prop_map(|x| x as f64 / 8.0)
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::vec(prop::collection::vec(coord(), 3), 3..25),
+        prop::collection::vec((prop::collection::vec(coord(), 3), 1usize..4), 1..30),
+    )
+        .prop_map(|(objects, qs)| {
+            let queries = qs
+                .into_iter()
+                .map(|(w, k)| TopKQuery::new(w, k))
+                .collect();
+            Instance::new(objects, queries).unwrap()
+        })
+}
+
+fn strategy() -> impl Strategy<Value = Vector> {
+    prop::collection::vec((-4i32..4).prop_map(|x| x as f64 / 8.0), 3).prop_map(Vector::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ese_fast_equals_ground_truth(inst in instance(), s in strategy(), tsel in any::<usize>()) {
+        let target = tsel % inst.num_objects();
+        let index = QueryIndex::build(&inst);
+        let ev = TargetEvaluator::new(&inst, &index, target);
+        prop_assert_eq!(ev.hit_count(), inst.hit_count_naive(target));
+        let fast = ev.evaluate(&s);
+        let improved = inst.with_strategy(target, &s);
+        prop_assert_eq!(fast, improved.hit_count_naive(target));
+        prop_assert_eq!(ev.evaluate_pairwise(&index, &s), fast);
+    }
+
+    #[test]
+    fn ese_changes_report_is_exact(inst in instance(), s in strategy(), tsel in any::<usize>()) {
+        let target = tsel % inst.num_objects();
+        let index = QueryIndex::build(&inst);
+        let ev = TargetEvaluator::new(&inst, &index, target);
+        let changes = ev.evaluate_changes(&s);
+        let improved = inst.with_strategy(target, &s);
+        // Every reported change is real, and no real change is missed.
+        let mut reported = vec![None; inst.num_queries()];
+        for (q, was, now) in &changes {
+            prop_assert!(was != now);
+            reported[*q] = Some(*now);
+        }
+        for q in 0..inst.num_queries() {
+            let was = iq_topk::naive::hits(inst.objects(), &inst.queries()[q], target);
+            let now = iq_topk::naive::hits(improved.objects(), &improved.queries()[q], target);
+            match reported[q] {
+                Some(r) => {
+                    prop_assert_eq!(r, now, "query {} wrong direction", q);
+                    prop_assert_ne!(was, now, "query {} reported but unchanged", q);
+                }
+                None => prop_assert_eq!(was, now, "query {} change missed", q),
+            }
+        }
+    }
+
+    #[test]
+    fn rta_evaluator_agrees_with_ese(inst in instance(), s in strategy(), tsel in any::<usize>()) {
+        let target = tsel % inst.num_objects();
+        let index = QueryIndex::build(&inst);
+        let ese = TargetEvaluator::new(&inst, &index, target);
+        let mut rta = RtaEvaluator::new(&inst, target);
+        prop_assert_eq!(ese.hit_count(), HitEvaluator::hit_count(&rta));
+        prop_assert_eq!(ese.evaluate(&s), rta.evaluate(&s));
+    }
+
+    #[test]
+    fn min_cost_contract(inst in instance(), tsel in any::<usize>(), extra in 1usize..6) {
+        let target = tsel % inst.num_objects();
+        let index = QueryIndex::build(&inst);
+        let before = inst.hit_count_naive(target);
+        let tau = (before + extra).min(inst.num_queries());
+        let r = min_cost_iq(
+            &inst, &index, target, tau,
+            &EuclideanCost, &StrategyBounds::unbounded(3), &SearchOptions::default(),
+        );
+        // Reported hits must be truthful.
+        let improved = inst.with_strategy(target, &r.strategy);
+        prop_assert_eq!(improved.hit_count_naive(target), r.hits_after);
+        prop_assert_eq!(r.hits_before, before);
+        if r.achieved {
+            prop_assert!(r.hits_after >= tau);
+        }
+        // Cost consistent with the strategy.
+        prop_assert!((r.cost - r.strategy.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_hit_contract(inst in instance(), tsel in any::<usize>(), budget in 0.0f64..1.0) {
+        let target = tsel % inst.num_objects();
+        let index = QueryIndex::build(&inst);
+        let before = inst.hit_count_naive(target);
+        let r = max_hit_iq(
+            &inst, &index, target, budget,
+            &EuclideanCost, &StrategyBounds::unbounded(3), &SearchOptions::default(),
+        );
+        let improved = inst.with_strategy(target, &r.strategy);
+        prop_assert_eq!(improved.hit_count_naive(target), r.hits_after);
+        prop_assert!(r.hits_after >= before, "max-hit lost hits");
+        prop_assert!(r.cost <= budget + 1e-6, "cost {} over budget {}", r.cost, budget);
+    }
+
+    #[test]
+    fn multi_target_union_reports_truthful(
+        inst in instance(),
+        t1 in any::<usize>(),
+        t2 in any::<usize>(),
+        extra in 1usize..5,
+    ) {
+        use iq_core::multi::{multi_min_cost_iq, TargetSpec};
+        let n = inst.num_objects();
+        let (a, b) = (t1 % n, t2 % n);
+        prop_assume!(a != b);
+        let index = QueryIndex::build(&inst);
+        let cost = EuclideanCost;
+        let specs = [
+            TargetSpec { target: a, cost_fn: &cost, bounds: StrategyBounds::unbounded(3) },
+            TargetSpec { target: b, cost_fn: &cost, bounds: StrategyBounds::unbounded(3) },
+        ];
+        let union_before = (0..inst.num_queries())
+            .filter(|&q| {
+                [a, b].iter().any(|&t| {
+                    iq_topk::naive::hits(inst.objects(), &inst.queries()[q], t)
+                })
+            })
+            .count();
+        let tau = (union_before + extra).min(inst.num_queries());
+        let r = multi_min_cost_iq(&inst, &index, &specs, tau, 1000);
+        prop_assert_eq!(r.hits_before, union_before);
+        // Ground-truth union after applying both strategies.
+        let mut improved = inst.clone();
+        improved.apply_strategy(a, &r.strategies[0]).unwrap();
+        improved.apply_strategy(b, &r.strategies[1]).unwrap();
+        let union_after = (0..improved.num_queries())
+            .filter(|&q| {
+                [a, b].iter().any(|&t| {
+                    iq_topk::naive::hits(improved.objects(), &improved.queries()[q], t)
+                })
+            })
+            .count();
+        prop_assert_eq!(union_after, r.hits_after);
+        // Total cost is the sum of the per-target costs.
+        let sum: f64 = r.costs.iter().sum();
+        prop_assert!((sum - r.total_cost).abs() < 1e-9);
+        if r.achieved {
+            prop_assert!(r.hits_after >= tau);
+        }
+    }
+
+    #[test]
+    fn updates_equal_rebuild(
+        inst in instance(),
+        new_queries in prop::collection::vec((prop::collection::vec(coord(), 3), 1usize..4), 0..6),
+        new_objects in prop::collection::vec(prop::collection::vec(coord(), 3), 0..4),
+        removals in prop::collection::vec(any::<usize>(), 0..4),
+    ) {
+        let kprime = QueryIndex::build(&inst).kprime();
+        let mut live = inst.clone();
+        let mut index = QueryIndex::build(&live);
+        let mut stats = UpdateStats::default();
+        for (w, k) in new_queries {
+            if k < kprime {
+                add_query(&mut live, &mut index, TopKQuery::new(w, k), &mut stats).unwrap();
+            }
+        }
+        for attrs in new_objects {
+            add_object(&mut live, &mut index, attrs, &mut stats).unwrap();
+        }
+        for r in removals {
+            if live.num_queries() > 1 {
+                let qid = r % live.num_queries();
+                remove_query(&mut live, &mut index, qid);
+            }
+        }
+        index.check_invariants(&live).map_err(TestCaseError::fail)?;
+        // A fresh rebuild may choose a smaller K' (removals can shrink the
+        // max k); the maintained index is a refinement — compare prefixes.
+        let fresh = QueryIndex::build(&live);
+        let common = index.kprime().min(fresh.kprime());
+        for q in 0..live.num_queries() {
+            let a = &index.toplist_of(q)[..common.min(index.toplist_of(q).len())];
+            let b = &fresh.toplist_of(q)[..common.min(fresh.toplist_of(q).len())];
+            prop_assert_eq!(a, b, "query {} stale", q);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! CSV ingestion: the path for loading *actual* datasets (the
+//! fueleconomy.gov VEHICLE extract, an IPUMS pull, a product catalogue)
+//! into the analytic tool.
+//!
+//! The reader handles the RFC-4180 essentials — quoted fields, doubled
+//! quotes, embedded commas and newlines, CRLF — and infers column types
+//! from the data (`INT` ⊂ `FLOAT`; `BOOL` for true/false; everything else
+//! `TEXT`; empty fields are `NULL` and never force a column to `TEXT`).
+
+use crate::table::{Column, Schema, Table};
+use crate::value::{ColumnType, Value};
+use crate::DbError;
+
+/// Splits CSV text into records of raw string fields.
+///
+/// Returns an error for unterminated quotes. A trailing newline does not
+/// produce an empty trailing record.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, DbError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // swallowed; the \n ends the record
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DbError::Parse("unterminated quote in CSV".into()));
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn classify(field: &str) -> Option<ColumnType> {
+    let t = field.trim();
+    if t.is_empty() {
+        return None; // NULL: compatible with every column type
+    }
+    if t.parse::<i64>().is_ok() {
+        return Some(ColumnType::Int);
+    }
+    if t.parse::<f64>().is_ok() {
+        return Some(ColumnType::Float);
+    }
+    if t.eq_ignore_ascii_case("true") || t.eq_ignore_ascii_case("false") {
+        return Some(ColumnType::Bool);
+    }
+    Some(ColumnType::Text)
+}
+
+fn widen(a: ColumnType, b: ColumnType) -> ColumnType {
+    use ColumnType::*;
+    match (a, b) {
+        (Int, Int) => Int,
+        (Int, Float) | (Float, Int) | (Float, Float) => Float,
+        (Bool, Bool) => Bool,
+        _ => Text,
+    }
+}
+
+fn convert(field: &str, ty: ColumnType) -> Value {
+    let t = field.trim();
+    if t.is_empty() {
+        return Value::Null;
+    }
+    match ty {
+        ColumnType::Int => t.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        ColumnType::Float => t.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
+        ColumnType::Bool => Value::Bool(t.eq_ignore_ascii_case("true")),
+        ColumnType::Text => Value::Text(field.to_string()),
+    }
+}
+
+/// Builds a table from CSV text. With `has_header`, the first record names
+/// the columns; otherwise columns are `c1, c2, …`. Types are inferred over
+/// the whole file; ragged records are an error.
+pub fn table_from_csv(text: &str, has_header: bool) -> Result<Table, DbError> {
+    let mut records = parse_csv(text)?;
+    if records.is_empty() {
+        return Err(DbError::Parse("CSV has no records".into()));
+    }
+    let header: Vec<String> = if has_header {
+        records.remove(0)
+    } else {
+        (1..=records[0].len()).map(|i| format!("c{i}")).collect()
+    };
+    let width = header.len();
+    for (i, r) in records.iter().enumerate() {
+        if r.len() != width {
+            return Err(DbError::Parse(format!(
+                "CSV record {} has {} fields, expected {width}",
+                i + 1 + has_header as usize,
+                r.len()
+            )));
+        }
+    }
+    // Infer per-column types.
+    let mut types: Vec<Option<ColumnType>> = vec![None; width];
+    for r in &records {
+        for (slot, field) in types.iter_mut().zip(r) {
+            if let Some(t) = classify(field) {
+                *slot = Some(match *slot {
+                    None => t,
+                    Some(prev) => widen(prev, t),
+                });
+            }
+        }
+    }
+    let schema = Schema::new(
+        header
+            .into_iter()
+            .zip(&types)
+            .map(|(name, ty)| Column { name, ty: ty.unwrap_or(ColumnType::Text) })
+            .collect(),
+    )?;
+    let mut table = Table::new(schema);
+    for r in &records {
+        let row: Vec<Value> = r
+            .iter()
+            .zip(&types)
+            .map(|(field, ty)| convert(field, ty.unwrap_or(ColumnType::Text)))
+            .collect();
+        table.insert(row)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parsing() {
+        let recs = parse_csv("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], vec!["a", "b", "c"]);
+        assert_eq!(recs[1], vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn quotes_commas_newlines() {
+        let recs = parse_csv("\"a,b\",\"line1\nline2\",\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0][0], "a,b");
+        assert_eq!(recs[0][1], "line1\nline2");
+        assert_eq!(recs[0][2], "he said \"hi\"");
+    }
+
+    #[test]
+    fn crlf_and_no_trailing_newline() {
+        let recs = parse_csv("x,y\r\n1,2").unwrap();
+        assert_eq!(recs, vec![vec!["x", "y"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_csv("\"oops\n").is_err());
+    }
+
+    #[test]
+    fn type_inference() {
+        let t = table_from_csv("id,price,name,active\n1,9.5,cam,true\n2,10,led,false\n", true)
+            .unwrap();
+        let tys: Vec<ColumnType> = t.schema.columns().iter().map(|c| c.ty).collect();
+        assert_eq!(
+            tys,
+            vec![ColumnType::Int, ColumnType::Float, ColumnType::Text, ColumnType::Bool]
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(0)[1], Value::Float(9.5));
+        assert_eq!(t.row(1)[1], Value::Float(10.0)); // INT widened to FLOAT
+        assert_eq!(t.row(0)[3], Value::Bool(true));
+    }
+
+    #[test]
+    fn empty_fields_are_null_not_text() {
+        let t = table_from_csv("a,b\n1,\n,2\n", true).unwrap();
+        assert_eq!(t.schema.columns()[0].ty, ColumnType::Int);
+        assert_eq!(t.schema.columns()[1].ty, ColumnType::Int);
+        assert_eq!(t.row(0)[1], Value::Null);
+        assert_eq!(t.row(1)[0], Value::Null);
+    }
+
+    #[test]
+    fn headerless_gets_positional_names() {
+        let t = table_from_csv("1,2\n3,4\n", false).unwrap();
+        assert_eq!(t.schema.columns()[0].name, "c1");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        assert!(table_from_csv("a,b\n1\n", true).is_err());
+        assert!(table_from_csv("", true).is_err());
+    }
+
+    #[test]
+    fn mixed_types_widen_to_text() {
+        let t = table_from_csv("v\n1\nhello\n", true).unwrap();
+        assert_eq!(t.schema.columns()[0].ty, ColumnType::Text);
+        assert_eq!(t.row(0)[0], Value::Text("1".into()));
+    }
+}

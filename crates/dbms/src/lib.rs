@@ -1,0 +1,91 @@
+//! # iq-dbms
+//!
+//! An in-memory DBMS substrate with the `IMPROVE` statement extension —
+//! the "analytic tool … integrated with the Database Management System"
+//! of §6.1. A [`session::Session`] holds a catalog of typed tables and
+//! executes a SQL subset (`CREATE TABLE`, `INSERT`, `SELECT` with
+//! WHERE/ORDER BY/LIMIT, `DROP TABLE`) plus:
+//!
+//! ```text
+//! IMPROVE <objects> USING <queries> [WHERE <target filter>]
+//!         (MINCOST <τ> | MAXHIT <β>)
+//!         [COST EUCLIDEAN | COST L1] [FREEZE col, …] [APPLY]
+//! ```
+//!
+//! which routes into the `iq-core` improvement-query engine: targets are
+//! selected "manually or via an SQL select statement" exactly as the
+//! paper's GUI describes, per-attribute adjustability is expressed with
+//! `FREEZE`, and `APPLY` persists the improved object.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod exec;
+pub mod iqext;
+pub mod parser;
+pub mod session;
+pub mod table;
+pub mod value;
+
+pub use csv::table_from_csv;
+pub use exec::QueryResult;
+pub use parser::{parse, Statement};
+pub use session::{Outcome, Session};
+pub use table::{Column, Schema, Table};
+pub use value::{ColumnType, Value};
+
+use std::fmt;
+
+/// Errors produced by the DBMS layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Syntax error.
+    Parse(String),
+    /// Table already exists.
+    TableExists(String),
+    /// Unknown table.
+    UnknownTable(String),
+    /// Unknown column.
+    UnknownColumn(String),
+    /// Duplicate column in a schema.
+    DuplicateColumn(String),
+    /// Wrong number of values in a row.
+    ArityMismatch {
+        /// Expected arity.
+        expected: usize,
+        /// Found arity.
+        found: usize,
+    },
+    /// Value does not fit the column type.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Expected type.
+        expected: ColumnType,
+        /// Offending value.
+        found: Value,
+    },
+    /// IMPROVE-specific failure.
+    Improve(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            DbError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            DbError::ArityMismatch { expected, found } => {
+                write!(f, "expected {expected} values, found {found}")
+            }
+            DbError::TypeMismatch { column, expected, found } => {
+                write!(f, "column `{column}` expects {expected}, got {found}")
+            }
+            DbError::Improve(m) => write!(f, "IMPROVE error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

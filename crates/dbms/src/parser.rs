@@ -1,0 +1,885 @@
+//! Lexer and recursive-descent parser for the SQL subset plus the
+//! `IMPROVE` statement extension.
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! stmt    := create | insert | select | update | delete | drop | improve
+//! create  := CREATE TABLE ident "(" ident type ("," ident type)* ")"
+//! insert  := INSERT INTO ident VALUES tuple ("," tuple)*
+//! select  := SELECT ("*" | item ("," item)*) FROM ident
+//!            [WHERE pred] [ORDER BY ident [ASC|DESC]] [LIMIT int]
+//! item    := ident | agg "(" (ident | "*") ")"
+//! agg     := COUNT | SUM | AVG | MIN | MAX
+//! update  := UPDATE ident SET ident "=" literal ("," ident "=" literal)*
+//!            [WHERE pred]
+//! delete  := DELETE FROM ident [WHERE pred]
+//! copy    := COPY ident FROM string [NOHEADER]
+//! drop    := DROP TABLE ident
+//! improve := IMPROVE ident USING ident [WHERE pred]
+//!            (MINCOST number | MAXHIT number)
+//!            [COST (EUCLIDEAN | L1)] [FREEZE ident ("," ident)*] [APPLY]
+//! pred    := or-chain of comparisons with AND/OR/NOT and parentheses
+//! ```
+//!
+//! The `IMPROVE` statement is the paper's analytic-tool surface (§6.1):
+//! targets are the rows of the object table matching the `WHERE` clause
+//! (one row → single-target IQ, several → combinatorial §5.1), the query
+//! table supplies the top-k workload (`w1..wd` weight columns plus `k`),
+//! and `APPLY` writes the improved attribute values back.
+
+use crate::value::{ColumnType, Value};
+use crate::DbError;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// CREATE TABLE.
+    Create {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, ColumnType)>,
+    },
+    /// INSERT INTO … VALUES.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Row tuples.
+        rows: Vec<Vec<Value>>,
+    },
+    /// SELECT.
+    Select(SelectStmt),
+    /// UPDATE … SET.
+    Update {
+        /// Table name.
+        table: String,
+        /// `(column, new value)` assignments.
+        sets: Vec<(String, Value)>,
+        /// Optional row filter.
+        predicate: Option<Predicate>,
+    },
+    /// DELETE FROM.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Optional row filter (`None` = all rows).
+        predicate: Option<Predicate>,
+    },
+    /// COPY … FROM (CSV file ingestion).
+    Copy {
+        /// Destination table (created; must not exist).
+        table: String,
+        /// CSV file path.
+        path: String,
+        /// Whether the first record is a header row.
+        has_header: bool,
+    },
+    /// DROP TABLE.
+    Drop {
+        /// Table name.
+        name: String,
+    },
+    /// The IMPROVE extension.
+    Improve(ImproveStmt),
+}
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Row count (NULLs included for `COUNT(*)`, excluded for a column).
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric mean.
+    Avg,
+    /// Minimum (any comparable type).
+    Min,
+    /// Maximum (any comparable type).
+    Max,
+}
+
+impl Aggregate {
+    /// The SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregate::Count => "COUNT",
+            Aggregate::Sum => "SUM",
+            Aggregate::Avg => "AVG",
+            Aggregate::Min => "MIN",
+            Aggregate::Max => "MAX",
+        }
+    }
+}
+
+/// One item of a SELECT projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column reference.
+    Column(String),
+    /// An aggregate over a column, or over `*` (COUNT only).
+    Agg(Aggregate, Option<String>),
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection; empty = `*`. Aggregates and plain columns cannot mix
+    /// (there is no GROUP BY).
+    pub columns: Vec<SelectItem>,
+    /// Source table.
+    pub table: String,
+    /// Optional filter.
+    pub predicate: Option<Predicate>,
+    /// Optional ORDER BY column and direction (`true` = ascending).
+    pub order_by: Option<(String, bool)>,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// The improvement-query goal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImproveGoal {
+    /// Min-Cost IQ with the desired hit count τ.
+    MinCost(usize),
+    /// Max-Hit IQ with budget β.
+    MaxHit(f64),
+}
+
+/// Cost-function selection for IMPROVE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostKind {
+    /// Euclidean (Eq. 30) — the default.
+    Euclidean,
+    /// Manhattan.
+    L1,
+}
+
+/// An IMPROVE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImproveStmt {
+    /// Object table holding candidate targets.
+    pub table: String,
+    /// Query table holding the top-k workload.
+    pub query_table: String,
+    /// Target row filter (`None` = error unless the table has one row).
+    pub predicate: Option<Predicate>,
+    /// Min-Cost or Max-Hit.
+    pub goal: ImproveGoal,
+    /// Cost function.
+    pub cost: CostKind,
+    /// Attribute columns that must not change.
+    pub freeze: Vec<String>,
+    /// Whether to write improved values back to the table.
+    pub apply: bool,
+}
+
+/// A filter predicate over one table's rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Comparison `column <op> literal` (or `literal <op> column`).
+    Compare {
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Literal operand.
+        value: Value,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(&'static str),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, DbError> {
+    let b = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' | b')' | b',' | b'*' | b';' | b'=' => {
+                toks.push(Tok::Symbol(match b[i] {
+                    b'(' => "(",
+                    b')' => ")",
+                    b',' => ",",
+                    b'*' => "*",
+                    b';' => ";",
+                    _ => "=",
+                }));
+                i += 1;
+            }
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    toks.push(Tok::Symbol("<="));
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'>' {
+                    toks.push(Tok::Symbol("<>"));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Symbol("<"));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    toks.push(Tok::Symbol(">="));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Symbol(">"));
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(DbError::Parse("unterminated string literal".into()));
+                }
+                toks.push(Tok::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            b'0'..=b'9' | b'.' | b'-' => {
+                let start = i;
+                if b[i] == b'-' {
+                    i += 1;
+                }
+                let mut is_float = false;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    if b[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if text == "-" {
+                    return Err(DbError::Parse("stray `-`".into()));
+                }
+                if is_float {
+                    toks.push(Tok::Float(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad float literal `{text}`"))
+                    })?));
+                } else {
+                    toks.push(Tok::Int(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad integer literal `{text}`"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(DbError::Parse(format!(
+                    "unexpected character `{}`",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Symbol(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<(), DbError> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!("expected `{s}`")))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!("expected {kw}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.bump() {
+            Some(Tok::Ident(w)) => Ok(w),
+            other => Err(DbError::Parse(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, DbError> {
+        match self.bump() {
+            Some(Tok::Int(i)) => Ok(Value::Int(i)),
+            Some(Tok::Float(f)) => Ok(Value::Float(f)),
+            Some(Tok::Str(s)) => Ok(Value::Text(s)),
+            Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            other => Err(DbError::Parse(format!("expected literal, got {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, DbError> {
+        match self.bump() {
+            Some(Tok::Int(i)) => Ok(i as f64),
+            Some(Tok::Float(f)) => Ok(f),
+            other => Err(DbError::Parse(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    // --- predicates ---
+
+    fn predicate(&mut self) -> Result<Predicate, DbError> {
+        let mut left = self.pred_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.pred_and()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_and(&mut self) -> Result<Predicate, DbError> {
+        let mut left = self.pred_atom()?;
+        while self.eat_keyword("AND") {
+            let right = self.pred_atom()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_atom(&mut self) -> Result<Predicate, DbError> {
+        if self.eat_keyword("NOT") {
+            return Ok(Predicate::Not(Box::new(self.pred_atom()?)));
+        }
+        if self.eat_symbol("(") {
+            let p = self.predicate()?;
+            self.expect_symbol(")")?;
+            return Ok(p);
+        }
+        let column = self.ident()?;
+        let op = match self.bump() {
+            Some(Tok::Symbol("=")) => CompareOp::Eq,
+            Some(Tok::Symbol("<>")) => CompareOp::Ne,
+            Some(Tok::Symbol("<")) => CompareOp::Lt,
+            Some(Tok::Symbol("<=")) => CompareOp::Le,
+            Some(Tok::Symbol(">")) => CompareOp::Gt,
+            Some(Tok::Symbol(">=")) => CompareOp::Ge,
+            other => return Err(DbError::Parse(format!("expected comparison, got {other:?}"))),
+        };
+        let value = self.literal()?;
+        Ok(Predicate::Compare { column, op, value })
+    }
+
+    // --- statements ---
+
+    fn create(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("TABLE")?;
+        let name = self.ident()?;
+        self.expect_symbol("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty_name = self.ident()?;
+            let ty = match ty_name.to_ascii_uppercase().as_str() {
+                "INT" | "INTEGER" | "BIGINT" => ColumnType::Int,
+                "FLOAT" | "REAL" | "DOUBLE" => ColumnType::Float,
+                "TEXT" | "VARCHAR" | "STRING" => ColumnType::Text,
+                "BOOL" | "BOOLEAN" => ColumnType::Bool,
+                other => return Err(DbError::Parse(format!("unknown type `{other}`"))),
+            };
+            columns.push((col, ty));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(")")?;
+        Ok(Statement::Create { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("INTO")?;
+        let table = self.ident()?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            rows.push(row);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn select(&mut self) -> Result<Statement, DbError> {
+        let mut columns = Vec::new();
+        if !self.eat_symbol("*") {
+            loop {
+                let name = self.ident()?;
+                let agg = match name.to_ascii_uppercase().as_str() {
+                    "COUNT" => Some(Aggregate::Count),
+                    "SUM" => Some(Aggregate::Sum),
+                    "AVG" => Some(Aggregate::Avg),
+                    "MIN" => Some(Aggregate::Min),
+                    "MAX" => Some(Aggregate::Max),
+                    _ => None,
+                };
+                match agg {
+                    Some(a) if self.eat_symbol("(") => {
+                        let arg = if self.eat_symbol("*") {
+                            if a != Aggregate::Count {
+                                return Err(DbError::Parse(format!(
+                                    "{}(*) is not supported; name a column",
+                                    a.name()
+                                )));
+                            }
+                            None
+                        } else {
+                            Some(self.ident()?)
+                        };
+                        self.expect_symbol(")")?;
+                        columns.push(SelectItem::Agg(a, arg));
+                    }
+                    _ => columns.push(SelectItem::Column(name)),
+                }
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let predicate = if self.eat_keyword("WHERE") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let col = self.ident()?;
+            let asc = if self.eat_keyword("DESC") {
+                false
+            } else {
+                self.eat_keyword("ASC");
+                true
+            };
+            Some((col, asc))
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            Some(self.number()? as usize)
+        } else {
+            None
+        };
+        Ok(Statement::Select(SelectStmt { columns, table, predicate, order_by, limit }))
+    }
+
+    fn update(&mut self) -> Result<Statement, DbError> {
+        let table = self.ident()?;
+        self.expect_keyword("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_symbol("=")?;
+            sets.push((col, self.literal()?));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        let predicate = if self.eat_keyword("WHERE") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update { table, sets, predicate })
+    }
+
+    fn delete(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let predicate = if self.eat_keyword("WHERE") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    fn improve(&mut self) -> Result<Statement, DbError> {
+        let table = self.ident()?;
+        self.expect_keyword("USING")?;
+        let query_table = self.ident()?;
+        let predicate = if self.eat_keyword("WHERE") {
+            Some(self.predicate()?)
+        } else {
+            None
+        };
+        let goal = if self.eat_keyword("MINCOST") {
+            ImproveGoal::MinCost(self.number()? as usize)
+        } else if self.eat_keyword("MAXHIT") {
+            ImproveGoal::MaxHit(self.number()?)
+        } else {
+            return Err(DbError::Parse("expected MINCOST or MAXHIT".into()));
+        };
+        let mut cost = CostKind::Euclidean;
+        let mut freeze = Vec::new();
+        let mut apply = false;
+        loop {
+            if self.eat_keyword("COST") {
+                cost = if self.eat_keyword("EUCLIDEAN") {
+                    CostKind::Euclidean
+                } else if self.eat_keyword("L1") {
+                    CostKind::L1
+                } else {
+                    return Err(DbError::Parse("expected EUCLIDEAN or L1 after COST".into()));
+                };
+            } else if self.eat_keyword("FREEZE") {
+                loop {
+                    freeze.push(self.ident()?);
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+            } else if self.eat_keyword("APPLY") {
+                apply = true;
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::Improve(ImproveStmt {
+            table,
+            query_table,
+            predicate,
+            goal,
+            cost,
+            freeze,
+            apply,
+        }))
+    }
+}
+
+/// Parses one SQL statement (an optional trailing `;` is allowed).
+pub fn parse(input: &str) -> Result<Statement, DbError> {
+    let toks = lex(input)?;
+    let mut p = P { toks, pos: 0 };
+    let stmt = if p.eat_keyword("CREATE") {
+        p.create()?
+    } else if p.eat_keyword("INSERT") {
+        p.insert()?
+    } else if p.eat_keyword("SELECT") {
+        p.select()?
+    } else if p.eat_keyword("UPDATE") {
+        p.update()?
+    } else if p.eat_keyword("DELETE") {
+        p.delete()?
+    } else if p.eat_keyword("COPY") {
+        let table = p.ident()?;
+        p.expect_keyword("FROM")?;
+        let path = match p.bump() {
+            Some(Tok::Str(s)) => s,
+            other => {
+                return Err(DbError::Parse(format!(
+                    "expected quoted file path after FROM, got {other:?}"
+                )))
+            }
+        };
+        let has_header = !p.eat_keyword("NOHEADER");
+        Statement::Copy { table, path, has_header }
+    } else if p.eat_keyword("DROP") {
+        p.expect_keyword("TABLE")?;
+        Statement::Drop { name: p.ident()? }
+    } else if p.eat_keyword("IMPROVE") {
+        p.improve()?
+    } else {
+        return Err(DbError::Parse(
+            "expected CREATE, INSERT, SELECT, UPDATE, DELETE, COPY, DROP, or IMPROVE".into(),
+        ));
+    };
+    p.eat_symbol(";");
+    if p.pos != p.toks.len() {
+        return Err(DbError::Parse("trailing input after statement".into()));
+    }
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse("CREATE TABLE cameras (id INT, price FLOAT, name TEXT)").unwrap();
+        match s {
+            Statement::Create { name, columns } => {
+                assert_eq!(name, "cameras");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[1], ("price".to_string(), ColumnType::Float));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse("INSERT INTO t VALUES (1, 2.5, 'a'), (2, -3.0, 'b');").unwrap();
+        match s {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][1], Value::Float(-3.0));
+                assert_eq!(rows[0][2], Value::Text("a".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_full() {
+        let s = parse(
+            "SELECT id, price FROM cams WHERE price <= 300 AND NOT (id = 2) \
+             ORDER BY price DESC LIMIT 5",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(
+                    sel.columns,
+                    vec![
+                        SelectItem::Column("id".into()),
+                        SelectItem::Column("price".into())
+                    ]
+                );
+                assert_eq!(sel.order_by, Some(("price".into(), false)));
+                assert_eq!(sel.limit, Some(5));
+                assert!(matches!(sel.predicate, Some(Predicate::And(_, _))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star() {
+        let s = parse("SELECT * FROM t").unwrap();
+        match s {
+            Statement::Select(sel) => assert!(sel.columns.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn improve_mincost() {
+        let s = parse(
+            "IMPROVE cameras USING prefs WHERE id = 1 MINCOST 25 COST L1 FREEZE price, id APPLY",
+        )
+        .unwrap();
+        match s {
+            Statement::Improve(imp) => {
+                assert_eq!(imp.table, "cameras");
+                assert_eq!(imp.query_table, "prefs");
+                assert_eq!(imp.goal, ImproveGoal::MinCost(25));
+                assert_eq!(imp.cost, CostKind::L1);
+                assert_eq!(imp.freeze, vec!["price", "id"]);
+                assert!(imp.apply);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn improve_maxhit_defaults() {
+        let s = parse("IMPROVE t USING q MAXHIT 2.5").unwrap();
+        match s {
+            Statement::Improve(imp) => {
+                assert_eq!(imp.goal, ImproveGoal::MaxHit(2.5));
+                assert_eq!(imp.cost, CostKind::Euclidean);
+                assert!(imp.freeze.is_empty());
+                assert!(!imp.apply);
+                assert!(imp.predicate.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("select * from t where x = 1 order by x limit 1").is_ok());
+        assert!(parse("improve t using q mincost 3").is_ok());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("SELEC * FROM t").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("CREATE TABLE t (a BLOB)").is_err());
+        assert!(parse("INSERT INTO t VALUES (1").is_err());
+        assert!(parse("IMPROVE t USING q").is_err()); // missing goal
+        assert!(parse("SELECT * FROM t WHERE x ~ 1").is_err());
+        assert!(parse("SELECT * FROM t extra").is_err());
+        assert!(parse("INSERT INTO t VALUES ('unterminated)").is_err());
+    }
+
+    #[test]
+    fn aggregate_projection() {
+        let s = parse("SELECT COUNT(*), AVG(price), MIN(price), MAX(price), SUM(id) FROM t")
+            .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.columns.len(), 5);
+                assert_eq!(sel.columns[0], SelectItem::Agg(Aggregate::Count, None));
+                assert_eq!(
+                    sel.columns[1],
+                    SelectItem::Agg(Aggregate::Avg, Some("price".into()))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("SELECT AVG(*) FROM t").is_err());
+        // An identifier that merely looks like an aggregate stays a column.
+        let s = parse("SELECT count FROM t").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.columns, vec![SelectItem::Column("count".into())]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_statement() {
+        let s = parse("UPDATE cams SET price = 199.0, name = 'sale' WHERE id = 1").unwrap();
+        match s {
+            Statement::Update { table, sets, predicate } => {
+                assert_eq!(table, "cams");
+                assert_eq!(sets.len(), 2);
+                assert_eq!(sets[0], ("price".to_string(), Value::Float(199.0)));
+                assert!(predicate.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("UPDATE cams price = 1").is_err());
+        assert!(parse("UPDATE cams SET price 1").is_err());
+    }
+
+    #[test]
+    fn delete_statement() {
+        let s = parse("DELETE FROM cams WHERE price > 300").unwrap();
+        match s {
+            Statement::Delete { table, predicate } => {
+                assert_eq!(table, "cams");
+                assert!(predicate.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse("DELETE FROM cams").unwrap();
+        assert!(matches!(s, Statement::Delete { predicate: None, .. }));
+        assert!(parse("DELETE cams").is_err());
+    }
+
+    #[test]
+    fn copy_statement() {
+        let s = parse("COPY cars FROM '/tmp/cars.csv'").unwrap();
+        assert_eq!(
+            s,
+            Statement::Copy {
+                table: "cars".into(),
+                path: "/tmp/cars.csv".into(),
+                has_header: true
+            }
+        );
+        let s = parse("COPY cars FROM 'x.csv' NOHEADER").unwrap();
+        assert!(matches!(s, Statement::Copy { has_header: false, .. }));
+        assert!(parse("COPY cars FROM cars_csv").is_err());
+    }
+
+    #[test]
+    fn boolean_and_null_literals() {
+        let s = parse("INSERT INTO t VALUES (TRUE, NULL, false)").unwrap();
+        match s {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows[0][0], Value::Bool(true));
+                assert_eq!(rows[0][1], Value::Null);
+                assert_eq!(rows[0][2], Value::Bool(false));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Session layer: a catalog of tables plus a one-call `execute` entry
+//! point — the REPL-able surface of the analytic tool.
+
+use crate::exec::{select, QueryResult};
+use crate::parser::{parse, Statement};
+use crate::table::{Column, Schema, Table};
+use crate::DbError;
+use std::collections::HashMap;
+
+/// The outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Table created.
+    Created(String),
+    /// Rows inserted.
+    Inserted(usize),
+    /// Rows loaded from a CSV file.
+    Copied(usize),
+    /// Rows updated.
+    Updated(usize),
+    /// Rows deleted.
+    Deleted(usize),
+    /// Table dropped.
+    Dropped(String),
+    /// A result set (SELECT or IMPROVE).
+    Rows(QueryResult),
+}
+
+/// An in-memory database session.
+#[derive(Debug, Default)]
+pub struct Session {
+    tables: HashMap<String, Table>,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// A table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Registers a prebuilt table (used by examples/benches to bulk-load).
+    pub fn register(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_ascii_lowercase(), table);
+    }
+
+    /// Parses and executes one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<Outcome, DbError> {
+        match parse(sql)? {
+            Statement::Create { name, columns } => {
+                let key = name.to_ascii_lowercase();
+                if self.tables.contains_key(&key) {
+                    return Err(DbError::TableExists(name));
+                }
+                let schema = Schema::new(
+                    columns
+                        .into_iter()
+                        .map(|(name, ty)| Column { name, ty })
+                        .collect(),
+                )?;
+                self.tables.insert(key, Table::new(schema));
+                Ok(Outcome::Created(name_of(sql)))
+            }
+            Statement::Insert { table, rows } => {
+                let t = self
+                    .tables
+                    .get_mut(&table.to_ascii_lowercase())
+                    .ok_or(DbError::UnknownTable(table))?;
+                let n = rows.len();
+                for row in rows {
+                    t.insert(row)?;
+                }
+                Ok(Outcome::Inserted(n))
+            }
+            Statement::Select(stmt) => {
+                let t = self
+                    .tables
+                    .get(&stmt.table.to_ascii_lowercase())
+                    .ok_or_else(|| DbError::UnknownTable(stmt.table.clone()))?;
+                Ok(Outcome::Rows(select(t, &stmt)?))
+            }
+            Statement::Update { table, sets, predicate } => {
+                let t = self
+                    .tables
+                    .get_mut(&table.to_ascii_lowercase())
+                    .ok_or(DbError::UnknownTable(table))?;
+                // Resolve column indices up front so errors surface before
+                // any row is touched.
+                let cols: Vec<usize> = sets
+                    .iter()
+                    .map(|(c, _)| {
+                        t.schema
+                            .index_of(c)
+                            .ok_or_else(|| DbError::UnknownColumn(c.clone()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let rows = crate::exec::matching_rows(t, predicate.as_ref())?;
+                for &r in &rows {
+                    for (&col, (_, v)) in cols.iter().zip(&sets) {
+                        t.update_cell(r, col, v.clone())?;
+                    }
+                }
+                Ok(Outcome::Updated(rows.len()))
+            }
+            Statement::Delete { table, predicate } => {
+                let t = self
+                    .tables
+                    .get_mut(&table.to_ascii_lowercase())
+                    .ok_or(DbError::UnknownTable(table))?;
+                let rows = crate::exec::matching_rows(t, predicate.as_ref())?;
+                Ok(Outcome::Deleted(t.remove_rows(&rows)))
+            }
+            Statement::Copy { table, path, has_header } => {
+                let key = table.to_ascii_lowercase();
+                if self.tables.contains_key(&key) {
+                    return Err(DbError::TableExists(table));
+                }
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| DbError::Parse(format!("cannot read `{path}`: {e}")))?;
+                let t = crate::csv::table_from_csv(&text, has_header)?;
+                let n = t.len();
+                self.tables.insert(key, t);
+                Ok(Outcome::Copied(n))
+            }
+            Statement::Drop { name } => {
+                let key = name.to_ascii_lowercase();
+                if self.tables.remove(&key).is_none() {
+                    return Err(DbError::UnknownTable(name));
+                }
+                Ok(Outcome::Dropped(name))
+            }
+            Statement::Improve(stmt) => {
+                // Borrow the query table by value (cloned) so the object
+                // table can be mutated by APPLY.
+                let queries = self
+                    .tables
+                    .get(&stmt.query_table.to_ascii_lowercase())
+                    .ok_or_else(|| DbError::UnknownTable(stmt.query_table.clone()))?
+                    .clone();
+                let objects = self
+                    .tables
+                    .get_mut(&stmt.table.to_ascii_lowercase())
+                    .ok_or_else(|| DbError::UnknownTable(stmt.table.clone()))?;
+                Ok(Outcome::Rows(crate::iqext::improve(objects, &queries, &stmt)?))
+            }
+        }
+    }
+}
+
+fn name_of(sql: &str) -> String {
+    // Cosmetic: echo the table name as written.
+    sql.split_whitespace()
+        .nth(2)
+        .unwrap_or("")
+        .trim_end_matches(['(', ';'])
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn session_with_data() -> Session {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE cams (id INT, res FLOAT, price FLOAT)").unwrap();
+        s.execute(
+            "INSERT INTO cams VALUES (1, 0.4, 0.9), (2, 0.6, 0.4), (3, 0.2, 0.2), (4, 0.8, 0.7)",
+        )
+        .unwrap();
+        s.execute("CREATE TABLE prefs (w1 FLOAT, w2 FLOAT, k INT)").unwrap();
+        s.execute(
+            "INSERT INTO prefs VALUES (0.8, 0.2, 1), (0.5, 0.5, 1), (0.2, 0.8, 2), (0.6, 0.4, 1)",
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let mut s = session_with_data();
+        match s.execute("SELECT id FROM cams WHERE price < 0.5 ORDER BY id").unwrap() {
+            Outcome::Rows(r) => {
+                assert_eq!(r.rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_improve() {
+        let mut s = session_with_data();
+        match s
+            .execute("IMPROVE cams USING prefs WHERE id = 1 MINCOST 2 FREEZE id APPLY")
+            .unwrap_err()
+        {
+            // `id` is not an improvable attribute (auto-excluded), so the
+            // FREEZE is rejected — documents the convention.
+            DbError::Improve(msg) => assert!(msg.contains("FREEZE")),
+            other => panic!("{other:?}"),
+        }
+        match s.execute("IMPROVE cams USING prefs WHERE id = 1 MINCOST 2 APPLY").unwrap() {
+            Outcome::Rows(r) => {
+                assert!(r.columns.contains(&"delta_res".to_string()));
+                assert_eq!(r.rows.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The APPLY persisted: the row changed.
+        match s.execute("SELECT res, price FROM cams WHERE id = 1").unwrap() {
+            Outcome::Rows(r) => {
+                assert_ne!(r.rows[0], vec![Value::Float(0.4), Value::Float(0.9)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn catalog_operations() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        assert!(matches!(
+            s.execute("CREATE TABLE t (a INT)"),
+            Err(DbError::TableExists(_))
+        ));
+        assert_eq!(s.table_names(), vec!["t"]);
+        s.execute("DROP TABLE t").unwrap();
+        assert!(s.table_names().is_empty());
+        assert!(matches!(s.execute("DROP TABLE t"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(
+            s.execute("SELECT * FROM nope"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            s.execute("INSERT INTO nope VALUES (1)"),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut s = session_with_data();
+        assert_eq!(
+            s.execute("UPDATE cams SET price = 0.99 WHERE id <= 2").unwrap(),
+            Outcome::Updated(2)
+        );
+        match s.execute("SELECT price FROM cams WHERE id = 1").unwrap() {
+            Outcome::Rows(r) => assert_eq!(r.rows[0][0], Value::Float(0.99)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            s.execute("DELETE FROM cams WHERE res < 0.5").unwrap(),
+            Outcome::Deleted(2)
+        );
+        match s.execute("SELECT id FROM cams ORDER BY id").unwrap() {
+            Outcome::Rows(r) => {
+                assert_eq!(r.rows, vec![vec![Value::Int(2)], vec![Value::Int(4)]]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Type errors surface before mutation.
+        assert!(s.execute("UPDATE cams SET res = 'nope'").is_err());
+        assert!(s.execute("UPDATE cams SET missing = 1").is_err());
+        // DELETE with no predicate empties the table.
+        assert_eq!(s.execute("DELETE FROM cams").unwrap(), Outcome::Deleted(2));
+    }
+
+    #[test]
+    fn register_prebuilt_table() {
+        use crate::table::{Column, Schema, Table};
+        use crate::value::ColumnType;
+        let mut s = Session::new();
+        let mut t = Table::new(
+            Schema::new(vec![Column { name: "x".into(), ty: ColumnType::Int }]).unwrap(),
+        );
+        t.insert(vec![Value::Int(7)]).unwrap();
+        s.register("Bulk", t);
+        match s.execute("SELECT * FROM bulk").unwrap() {
+            Outcome::Rows(r) => assert_eq!(r.rows, vec![vec![Value::Int(7)]]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_result_renders() {
+        let mut s = session_with_data();
+        match s.execute("SELECT id FROM cams WHERE id > 100").unwrap() {
+            Outcome::Rows(r) => {
+                assert!(r.rows.is_empty());
+                let text = r.to_ascii();
+                assert!(text.contains("id"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn copy_from_csv_file() {
+        let dir = std::env::temp_dir().join("iq_dbms_copy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cams.csv");
+        std::fs::write(&path, "id,res,price\n1,0.4,0.9\n2,0.6,0.4\n").unwrap();
+        let mut s = Session::new();
+        let outcome = s
+            .execute(&format!("COPY cams FROM '{}'", path.display()))
+            .unwrap();
+        assert_eq!(outcome, Outcome::Copied(2));
+        match s.execute("SELECT COUNT(*), MAX(price) FROM cams").unwrap() {
+            Outcome::Rows(r) => {
+                assert_eq!(r.rows[0][0], Value::Int(2));
+                assert_eq!(r.rows[0][1], Value::Float(0.9));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Re-copying into an existing table fails.
+        assert!(matches!(
+            s.execute(&format!("COPY cams FROM '{}'", path.display())),
+            Err(DbError::TableExists(_))
+        ));
+        // Missing file surfaces cleanly.
+        assert!(s.execute("COPY nope FROM '/definitely/missing.csv'").is_err());
+    }
+
+    #[test]
+    fn table_names_case_insensitive() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE Cams (a INT)").unwrap();
+        s.execute("INSERT INTO CAMS VALUES (1)").unwrap();
+        match s.execute("SELECT * FROM cams").unwrap() {
+            Outcome::Rows(r) => assert_eq!(r.rows.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

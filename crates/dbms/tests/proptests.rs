@@ -1,0 +1,131 @@
+//! Property tests for the SQL engine: generated data round-trips through
+//! INSERT/SELECT/UPDATE/DELETE exactly like a model table, and predicate
+//! evaluation matches a direct interpretation.
+
+use iq_dbms::{Outcome, Session, Value};
+use proptest::prelude::*;
+
+fn small_int() -> impl Strategy<Value = i64> {
+    -20i64..20
+}
+
+fn float_val() -> impl Strategy<Value = f64> {
+    (-40i32..40).prop_map(|x| x as f64 * 0.5)
+}
+
+fn fresh_session(rows: &[(i64, f64)]) -> Session {
+    let mut s = Session::new();
+    s.execute("CREATE TABLE t (id INT, x FLOAT)").unwrap();
+    for &(id, x) in rows {
+        s.execute(&format!("INSERT INTO t VALUES ({id}, {x:.6})")).unwrap();
+    }
+    s
+}
+
+fn select_ids(s: &mut Session, sql: &str) -> Vec<i64> {
+    match s.execute(sql).unwrap() {
+        Outcome::Rows(r) => r
+            .rows
+            .iter()
+            .map(|row| match row[0] {
+                Value::Int(i) => i,
+                ref other => panic!("{other:?}"),
+            })
+            .collect(),
+        other => panic!("{other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn where_comparisons_match_model(
+        rows in prop::collection::vec((small_int(), float_val()), 0..30),
+        bound in float_val(),
+    ) {
+        let mut s = fresh_session(&rows);
+        let got = select_ids(&mut s, &format!("SELECT id FROM t WHERE x < {bound:.6}"));
+        let want: Vec<i64> = rows
+            .iter()
+            .filter(|&&(_, x)| x < bound)
+            .map(|&(id, _)| id)
+            .collect();
+        prop_assert_eq!(got, want);
+        let got = select_ids(&mut s, &format!("SELECT id FROM t WHERE x >= {bound:.6}"));
+        let want: Vec<i64> = rows
+            .iter()
+            .filter(|&&(_, x)| x >= bound)
+            .map(|&(id, _)| id)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn order_by_sorts_and_limit_truncates(
+        xs in prop::collection::vec(float_val(), 1..30),
+        limit in 1usize..10,
+    ) {
+        // Unique ids (the row position) make the expected order exact: the
+        // engine's sort is stable over insertion order.
+        let rows: Vec<(i64, f64)> = xs.iter().enumerate().map(|(i, &x)| (i as i64, x)).collect();
+        let mut s = fresh_session(&rows);
+        let got = select_ids(&mut s, &format!("SELECT id FROM t ORDER BY x ASC LIMIT {limit}"));
+        let mut want: Vec<(f64, i64)> = rows.iter().map(|&(id, x)| (x, id)).collect();
+        want.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let want: Vec<i64> = want.into_iter().map(|(_, id)| id).take(limit).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn update_then_select_roundtrip(
+        rows in prop::collection::vec((small_int(), float_val()), 1..20),
+        pivot in small_int(),
+        newval in float_val(),
+    ) {
+        let mut s = fresh_session(&rows);
+        let updated = match s
+            .execute(&format!("UPDATE t SET x = {newval:.6} WHERE id = {pivot}"))
+            .unwrap()
+        {
+            Outcome::Updated(n) => n,
+            other => panic!("{other:?}"),
+        };
+        let expect = rows.iter().filter(|&&(id, _)| id == pivot).count();
+        prop_assert_eq!(updated, expect);
+        // Every pivot row now carries newval.
+        match s.execute(&format!("SELECT x FROM t WHERE id = {pivot}")).unwrap() {
+            Outcome::Rows(r) => {
+                for row in r.rows {
+                    let x = row[0].as_f64().unwrap();
+                    prop_assert!((x - newval).abs() < 1e-9);
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_removes_exactly_the_matches(
+        rows in prop::collection::vec((small_int(), float_val()), 0..25),
+        bound in float_val(),
+    ) {
+        let mut s = fresh_session(&rows);
+        let deleted = match s
+            .execute(&format!("DELETE FROM t WHERE x > {bound:.6}"))
+            .unwrap()
+        {
+            Outcome::Deleted(n) => n,
+            other => panic!("{other:?}"),
+        };
+        let expect_deleted = rows.iter().filter(|&&(_, x)| x > bound).count();
+        prop_assert_eq!(deleted, expect_deleted);
+        let left = select_ids(&mut s, "SELECT id FROM t");
+        let want: Vec<i64> = rows
+            .iter()
+            .filter(|&&(_, x)| x <= bound)
+            .map(|&(id, _)| id)
+            .collect();
+        prop_assert_eq!(left, want);
+    }
+}

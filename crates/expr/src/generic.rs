@@ -1,0 +1,198 @@
+//! Generic union functions for heterogeneous utility functions (§5.3).
+//!
+//! When different users rank the same dataset with *structurally different*
+//! utility functions (the paper's Eqs. 19 and 26), the subdomain machinery
+//! needs a single function space. The paper's fix: construct one "generic"
+//! function whose weight vector is the concatenation of every member
+//! function's weights — a query using member `i` sets every other member's
+//! weights to zero, making each member a special case of the union
+//! (Eqs. 27–29).
+//!
+//! [`GenericFamily`] implements that over *linearized* members: the
+//! augmented attribute space is the concatenation of the members' augmented
+//! attributes, and [`GenericFamily::augmented_query`] embeds a member query
+//! into the union space with zeros elsewhere.
+
+use crate::linearize::{LinearizeError, LinearizedUtility};
+use crate::Expr;
+
+/// A family of heterogeneous utility functions unified into one generic
+/// linear function over a shared augmented space.
+#[derive(Debug, Clone)]
+pub struct GenericFamily {
+    members: Vec<LinearizedUtility>,
+    offsets: Vec<usize>,
+    total_dim: usize,
+}
+
+impl GenericFamily {
+    /// Builds the family by linearizing each member expression.
+    pub fn from_exprs(exprs: &[Expr]) -> Result<Self, LinearizeError> {
+        let members = exprs
+            .iter()
+            .map(LinearizedUtility::linearize)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::from_linearized(members))
+    }
+
+    /// Builds the family from already-linearized members.
+    pub fn from_linearized(members: Vec<LinearizedUtility>) -> Self {
+        let mut offsets = Vec::with_capacity(members.len());
+        let mut total = 0;
+        for m in &members {
+            offsets.push(total);
+            total += m.dim();
+        }
+        GenericFamily { members, offsets, total_dim: total }
+    }
+
+    /// Number of member utility functions.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The member utilities.
+    pub fn members(&self) -> &[LinearizedUtility] {
+        &self.members
+    }
+
+    /// Dimensionality of the union (generic) function space.
+    pub fn dim(&self) -> usize {
+        self.total_dim
+    }
+
+    /// The block `[start, end)` of union dimensions owned by member `i`.
+    pub fn member_block(&self, member: usize) -> std::ops::Range<usize> {
+        let start = self.offsets[member];
+        start..start + self.members[member].dim()
+    }
+
+    /// The union-space attribute vector of an object: the concatenation of
+    /// every member's augmented attributes, computed on the fly.
+    pub fn augmented_object(&self, attrs: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.total_dim);
+        for m in &self.members {
+            out.extend(m.augmented_object(attrs));
+        }
+        out
+    }
+
+    /// Embeds a query of member `member` into union space: its augmented
+    /// weights in the member's block, zeros elsewhere (the w₃ = w₄ = 0 rule
+    /// of Eq. 27–29).
+    pub fn augmented_query(&self, member: usize, weights: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.total_dim];
+        let aq = self.members[member].augmented_query(weights);
+        let start = self.offsets[member];
+        out[start..start + aq.len()].copy_from_slice(&aq);
+        out
+    }
+
+    /// Scores an object for a member query through the union space.
+    pub fn score(&self, member: usize, attrs: &[f64], weights: &[f64]) -> f64 {
+        self.members[member].score(attrs, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, Schema};
+
+    fn family(sources: &[&str]) -> GenericFamily {
+        let schema = Schema::positional();
+        let exprs: Vec<Expr> = sources.iter().map(|s| parse(s, &schema).unwrap()).collect();
+        GenericFamily::from_exprs(&exprs).unwrap()
+    }
+
+    #[test]
+    fn paper_eq27_union_of_car_utilities() {
+        // u (Eq. 19): sqrt(w1·Price) + w2·Capacity/MPG
+        // v (Eq. 26): MPG/(w1·Price) + w2·Capacity²
+        // (attributes: p1 = Price, p2 = MPG, p3 = Capacity)
+        let fam = family(&[
+            "sqrt(w1 * p1) + w2 * p3 / p2",
+            "p2 / (w1 * p1) + w2 * p3^2",
+        ]);
+        assert_eq!(fam.num_members(), 2);
+        assert_eq!(fam.dim(), 4);
+
+        // Car 1 of Table 1: (15000, 30, 4).
+        let attrs = [15000.0, 30.0, 4.0];
+        let ao = fam.augmented_object(&attrs);
+        assert_eq!(ao.len(), 4);
+
+        // A member-0 query scores identically through the union dot product.
+        for (member, weights) in [(0usize, [2.0, 3.0]), (1usize, [0.5, 0.1])] {
+            let aq = fam.augmented_query(member, &weights);
+            let dot: f64 = ao.iter().zip(&aq).map(|(a, b)| a * b).sum();
+            let direct = fam.members()[member].score(&attrs, &weights);
+            assert!(
+                (dot - direct).abs() < 1e-9 * (1.0 + direct.abs()),
+                "member {member}: union {dot} vs direct {direct}"
+            );
+            // Weights outside the member's block are zero.
+            let block = fam.member_block(member);
+            for (i, v) in aq.iter().enumerate() {
+                if !block.contains(&i) {
+                    assert_eq!(*v, 0.0, "weight leakage at union dim {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn member_blocks_are_disjoint_and_cover() {
+        let fam = family(&["w1 * p1", "w1 * p1^2 + w2 * p2", "w1 * p2"]);
+        let mut covered = vec![false; fam.dim()];
+        for m in 0..fam.num_members() {
+            for i in fam.member_block(m) {
+                assert!(!covered[i], "dimension {i} owned by two members");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn ranking_preserved_per_member() {
+        let fam = family(&["w1 * p1 + w2 * p2", "w1 * p1 * p2"]);
+        let objects = [[0.2, 0.9], [0.8, 0.3], [0.5, 0.5]];
+        for member in 0..2 {
+            let weights = [0.7, 0.3];
+            let aq = fam.augmented_query(member, &weights);
+            let mut by_direct: Vec<usize> = (0..3).collect();
+            by_direct.sort_by(|&a, &b| {
+                fam.score(member, &objects[a], &weights)
+                    .partial_cmp(&fam.score(member, &objects[b], &weights))
+                    .unwrap()
+            });
+            let mut by_union: Vec<usize> = (0..3).collect();
+            by_union.sort_by(|&a, &b| {
+                let sa: f64 = fam
+                    .augmented_object(&objects[a])
+                    .iter()
+                    .zip(&aq)
+                    .map(|(x, y)| x * y)
+                    .sum();
+                let sb: f64 = fam
+                    .augmented_object(&objects[b])
+                    .iter()
+                    .zip(&aq)
+                    .map(|(x, y)| x * y)
+                    .sum();
+                sa.partial_cmp(&sb).unwrap()
+            });
+            assert_eq!(by_direct, by_union, "member {member}");
+        }
+    }
+
+    #[test]
+    fn single_member_family_degenerates_gracefully() {
+        let fam = family(&["w1 * p1 + w2 * p2"]);
+        assert_eq!(fam.dim(), 2);
+        assert_eq!(fam.member_block(0), 0..2);
+        let aq = fam.augmented_query(0, &[0.4, 0.6]);
+        assert_eq!(aq, vec![0.4, 0.6]);
+    }
+}

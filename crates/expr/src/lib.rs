@@ -1,0 +1,22 @@
+//! # iq-expr
+//!
+//! The utility/cost function engine for the `improvement-queries`
+//! workspace: an expression [AST](ast::Expr) and [parser](parser::parse)
+//! for user-supplied utility and cost functions, the
+//! [variable-substitution linearizer](linearize::LinearizedUtility) of
+//! §5.2 (complex utilities become linear functions over on-the-fly
+//! augmented attributes), and the [generic union
+//! function](generic::GenericFamily) of §5.3 that unifies heterogeneous
+//! utility functions into one function space.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod generic;
+pub mod linearize;
+pub mod parser;
+
+pub use ast::Expr;
+pub use generic::GenericFamily;
+pub use linearize::{LinearTerm, LinearizeError, LinearizedUtility};
+pub use parser::{parse, ParseError, Schema};

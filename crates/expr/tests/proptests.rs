@@ -1,0 +1,109 @@
+//! Property-based tests for the expression engine: random polynomial
+//! utilities must survive a print→parse roundtrip, and linearization must
+//! preserve scores exactly (up to the stripped monotone transform).
+
+use iq_expr::{parse, Expr, GenericFamily, LinearizedUtility, Schema};
+use proptest::prelude::*;
+
+/// Random polynomial utilities in the shape the paper's workloads use:
+/// sums of `w_k · (attribute monomial)` with degrees in [1, 5].
+fn poly_utility(d: usize, terms: usize) -> impl Strategy<Value = Expr> {
+    prop::collection::vec(
+        (0..d, 1u32..5, prop::option::of(0..d)),
+        1..=terms,
+    )
+    .prop_map(move |spec| {
+        let mut expr: Option<Expr> = None;
+        for (k, (attr, deg, extra)) in spec.into_iter().enumerate() {
+            let mut mono = Expr::attr(attr).pow(deg);
+            if let Some(e2) = extra {
+                mono = mono.mul(Expr::attr(e2));
+            }
+            let term = Expr::weight(k).mul(mono);
+            expr = Some(match expr {
+                None => term,
+                Some(acc) => acc.add(term),
+            });
+        }
+        expr.unwrap()
+    })
+}
+
+fn pos_values(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..2.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn display_parse_roundtrip(e in poly_utility(4, 5),
+                               attrs in pos_values(4), weights in pos_values(5)) {
+        let text = format!("{e}");
+        let parsed = parse(&text, &Schema::positional()).unwrap();
+        let a = e.eval(&attrs, &weights);
+        let b = parsed.eval(&attrs, &weights);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn linearization_preserves_scores(e in poly_utility(4, 5),
+                                      attrs in pos_values(4), weights in pos_values(5)) {
+        let u = LinearizedUtility::linearize(&e).unwrap();
+        let original = e.eval(&attrs, &weights);
+        let lin = u.score(&attrs, &weights);
+        prop_assert!((original - lin).abs() < 1e-9 * (1.0 + original.abs()),
+                     "original {} vs linearized {}", original, lin);
+        // Augmented vectors reproduce the same dot product.
+        let ao = u.augmented_object(&attrs);
+        let aq = u.augmented_query(&weights);
+        let dot: f64 = ao.iter().zip(&aq).map(|(a, b)| a * b).sum();
+        prop_assert!((dot - lin).abs() < 1e-9 * (1.0 + lin.abs()));
+    }
+
+    #[test]
+    fn linearization_preserves_ranking(e in poly_utility(3, 4),
+                                       objs in prop::collection::vec(pos_values(3), 2..6),
+                                       weights in pos_values(4)) {
+        let u = LinearizedUtility::linearize(&e).unwrap();
+        let aq = u.augmented_query(&weights);
+        let direct: Vec<f64> = objs.iter().map(|o| e.eval(o, &weights)).collect();
+        let lin: Vec<f64> = objs
+            .iter()
+            .map(|o| {
+                u.augmented_object(o)
+                    .iter()
+                    .zip(&aq)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+            })
+            .collect();
+        for i in 0..objs.len() {
+            for j in 0..objs.len() {
+                // Strict order must be preserved (allowing fp slack on ties).
+                if direct[i] + 1e-7 < direct[j] {
+                    prop_assert!(lin[i] < lin[j] + 1e-7,
+                                 "ranking flipped: {} vs {}", lin[i], lin[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generic_family_members_score_identically(
+        e1 in poly_utility(3, 3),
+        e2 in poly_utility(3, 3),
+        attrs in pos_values(3),
+        weights in pos_values(3),
+    ) {
+        let fam = GenericFamily::from_exprs(&[e1.clone(), e2.clone()]).unwrap();
+        let ao = fam.augmented_object(&attrs);
+        for (member, e) in [(0usize, &e1), (1usize, &e2)] {
+            let aq = fam.augmented_query(member, &weights);
+            let dot: f64 = ao.iter().zip(&aq).map(|(a, b)| a * b).sum();
+            let direct = e.eval(&attrs, &weights);
+            prop_assert!((dot - direct).abs() < 1e-9 * (1.0 + direct.abs()),
+                         "member {}: {} vs {}", member, dot, direct);
+        }
+    }
+}

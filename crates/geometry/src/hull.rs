@@ -1,0 +1,239 @@
+//! 2-D convex hulls and onion (layered hull) peeling.
+//!
+//! Substrate for the "onion technique" top-k index (Chang et al., SIGMOD
+//! 2000) discussed in the paper's related work (§2): data points are peeled
+//! into convex layers; a linear top-k query's optimum over any point set is
+//! attained on its convex hull, so scanning layers outside-in bounds how
+//! deep a query must look.
+
+/// A point in the plane.
+pub type Point2 = (f64, f64);
+
+#[inline]
+fn cross(o: Point2, a: Point2, b: Point2) -> f64 {
+    (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0)
+}
+
+/// Andrew's monotone-chain convex hull.
+///
+/// Returns the indices (into `points`) of the hull vertices in
+/// counter-clockwise order. Collinear points on the hull boundary are
+/// **included** — for the onion index every extreme-scoring point matters,
+/// so dropping collinear vertices would lose top-k candidates.
+///
+/// Degenerate inputs: fewer than 3 points (or all collinear) return all
+/// distinct input indices sorted along the line.
+pub fn convex_hull_indices(points: &[Point2]) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .partial_cmp(&points[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.dedup_by(|&mut a, &mut b| points[a] == points[b]);
+    if idx.len() <= 2 {
+        return idx;
+    }
+    // Degenerate all-collinear input: the two-chain walk would visit the
+    // interior points twice, so return the sorted distinct points directly.
+    let first = points[idx[0]];
+    let last = points[idx[idx.len() - 1]];
+    if idx.iter().all(|&i| cross(first, last, points[i]) == 0.0) {
+        return idx;
+    }
+
+    let mut hull: Vec<usize> = Vec::with_capacity(idx.len() * 2);
+    // Lower chain.
+    for &i in &idx {
+        while hull.len() >= 2 {
+            let o = points[hull[hull.len() - 2]];
+            let a = points[hull[hull.len() - 1]];
+            // Strict right turns pop; collinear points stay.
+            if cross(o, a, points[i]) < 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(i);
+    }
+    // Upper chain.
+    let lower_len = hull.len() + 1;
+    for &i in idx.iter().rev().skip(1) {
+        while hull.len() >= lower_len {
+            let o = points[hull[hull.len() - 2]];
+            let a = points[hull[hull.len() - 1]];
+            if cross(o, a, points[i]) < 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(i);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+/// Peels `points` into convex layers, outermost first.
+///
+/// Every input index appears in exactly one layer. Duplicated coordinates
+/// are assigned to the same layer as their first occurrence.
+pub fn onion_layers(points: &[Point2]) -> Vec<Vec<usize>> {
+    let mut remaining: Vec<usize> = (0..points.len()).collect();
+    let mut layers = Vec::new();
+    while !remaining.is_empty() {
+        let subset: Vec<Point2> = remaining.iter().map(|&i| points[i]).collect();
+        let hull_local = convex_hull_indices(&subset);
+        if hull_local.is_empty() {
+            break;
+        }
+        let mut on_hull = vec![false; remaining.len()];
+        // convex_hull_indices dedups identical coordinates; mark every
+        // remaining point that shares coordinates with a hull vertex so
+        // duplicates peel together.
+        for &h in &hull_local {
+            let p = subset[h];
+            for (k, &s) in subset.iter().enumerate() {
+                if s == p {
+                    on_hull[k] = true;
+                }
+            }
+        }
+        let mut layer = Vec::new();
+        let mut rest = Vec::new();
+        for (k, &orig) in remaining.iter().enumerate() {
+            if on_hull[k] {
+                layer.push(orig);
+            } else {
+                rest.push(orig);
+            }
+        }
+        layers.push(layer);
+        remaining = rest;
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn empty_and_tiny() {
+        assert!(convex_hull_indices(&[]).is_empty());
+        assert_eq!(convex_hull_indices(&[(1.0, 1.0)]), vec![0]);
+        assert_eq!(convex_hull_indices(&[(0.0, 0.0), (1.0, 1.0)]).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_points_deduped() {
+        let hull = convex_hull_indices(&[(0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]);
+        assert_eq!(hull.len(), 3);
+    }
+
+    #[test]
+    fn square_with_interior() {
+        let pts = vec![
+            (0.0, 0.0),
+            (4.0, 0.0),
+            (4.0, 4.0),
+            (0.0, 4.0),
+            (2.0, 2.0), // interior
+        ];
+        let hull: HashSet<usize> = convex_hull_indices(&pts).into_iter().collect();
+        assert_eq!(hull, HashSet::from([0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn collinear_boundary_points_kept() {
+        let pts = vec![(0.0, 0.0), (2.0, 0.0), (4.0, 0.0), (2.0, 3.0)];
+        let hull: HashSet<usize> = convex_hull_indices(&pts).into_iter().collect();
+        // The midpoint of the bottom edge is collinear but must be kept.
+        assert!(hull.contains(&1));
+        assert_eq!(hull.len(), 4);
+    }
+
+    #[test]
+    fn all_collinear() {
+        let pts = vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)];
+        let hull = convex_hull_indices(&pts);
+        assert_eq!(hull.len(), 3);
+    }
+
+    #[test]
+    fn hull_contains_extreme_point_for_any_direction() {
+        // Optimum of a linear form over points is attained on the hull.
+        let pts: Vec<Point2> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.61803;
+                ((t.sin() * 5.0).round(), (t.cos() * 5.0).round())
+            })
+            .collect();
+        let hull: HashSet<usize> = convex_hull_indices(&pts).into_iter().collect();
+        for dir in [(1.0, 0.0), (0.0, 1.0), (-1.0, 2.0), (3.0, -1.0)] {
+            let best = (0..pts.len())
+                .max_by(|&a, &b| {
+                    let fa = pts[a].0 * dir.0 + pts[a].1 * dir.1;
+                    let fb = pts[b].0 * dir.0 + pts[b].1 * dir.1;
+                    fa.partial_cmp(&fb).unwrap()
+                })
+                .unwrap();
+            let best_score = pts[best].0 * dir.0 + pts[best].1 * dir.1;
+            assert!(
+                hull.iter().any(|&h| {
+                    (pts[h].0 * dir.0 + pts[h].1 * dir.1 - best_score).abs() < 1e-9
+                }),
+                "direction {dir:?} extreme not on hull"
+            );
+        }
+    }
+
+    #[test]
+    fn onion_partitions_everything() {
+        let pts: Vec<Point2> = (0..30)
+            .map(|i| {
+                let t = i as f64;
+                ((t * 0.37).sin() * 10.0, (t * 0.59).cos() * 10.0)
+            })
+            .collect();
+        let layers = onion_layers(&pts);
+        let mut seen = HashSet::new();
+        for layer in &layers {
+            assert!(!layer.is_empty());
+            for &i in layer {
+                assert!(seen.insert(i), "point {i} in two layers");
+            }
+        }
+        assert_eq!(seen.len(), pts.len());
+        assert!(layers.len() >= 2, "expected multiple layers");
+    }
+
+    #[test]
+    fn onion_nested_squares() {
+        let pts = vec![
+            // outer square
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 10.0),
+            (0.0, 10.0),
+            // inner square
+            (4.0, 4.0),
+            (6.0, 4.0),
+            (6.0, 6.0),
+            (4.0, 6.0),
+            // center
+            (5.0, 5.0),
+        ];
+        let layers = onion_layers(&pts);
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0].len(), 4);
+        assert_eq!(layers[1].len(), 4);
+        assert_eq!(layers[2], vec![8]);
+    }
+}

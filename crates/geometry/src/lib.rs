@@ -1,0 +1,34 @@
+//! # iq-geometry
+//!
+//! Geometric substrate for the `improvement-queries` workspace — a
+//! from-scratch reproduction of *"Querying Improvement Strategies"*
+//! (Yang & Cai, EDBT 2017).
+//!
+//! The paper's core trick is to interpret every object `p ∈ R^d` as the
+//! linear function `f_p(q) = p · q` of the top-k query `q`, so that:
+//!
+//! * two objects tie exactly on a **hyperplane** in query space
+//!   ([`hyperplane::Hyperplane::object_intersection`]);
+//! * all pairwise intersections partition query space into **subdomains**
+//!   with constant object ranking ([`bsp::find_subdomains`], Algorithm 1);
+//! * an improvement strategy tilts the target's hyperplanes, and only
+//!   queries inside the **affected subspace** between old and new positions
+//!   can change result ([`hyperplane::Slab`], Eqs. 4–5).
+//!
+//! The remaining modules serve the index layer: [`bbox`] gives the R-tree
+//! its pruning predicates, [`sweep`] provides plane-sweep intersection
+//! discovery (the paper's citation \[15\]), and [`hull`] supports the onion
+//! top-k baseline.
+
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod bsp;
+pub mod hull;
+pub mod hyperplane;
+pub mod sweep;
+pub mod vector;
+
+pub use bbox::{BoundingBox, BoxSide};
+pub use hyperplane::{Hyperplane, Side, Slab};
+pub use vector::Vector;

@@ -1,0 +1,180 @@
+//! A bloom filter over arbitrary hashable keys.
+//!
+//! §4.3 of the paper: *"we implement a bloom filter to index the subdomains
+//! based on their boundaries, allowing us to quickly check if a subdomain
+//! uses an intersection as its boundary"*. The filter maps boundary keys
+//! (intersection identifiers, or `(subdomain, intersection)` pairs) to a bit
+//! array; membership tests never miss a stored key (no false negatives) and
+//! rarely report an absent one (tunable false-positive rate).
+//!
+//! Hashing uses the standard double-hashing scheme `h_i = h1 + i·h2` over
+//! two independent 64-bit hashes, which preserves the asymptotic
+//! false-positive rate of `k` independent hash functions.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+
+/// A bloom filter for keys of type `K`.
+#[derive(Debug, Clone)]
+pub struct BloomFilter<K: Hash> {
+    bits: Vec<u64>,
+    num_bits: usize,
+    num_hashes: u32,
+    inserted: usize,
+    _key: PhantomData<K>,
+}
+
+impl<K: Hash> BloomFilter<K> {
+    /// Creates a filter sized for `expected_items` at the target
+    /// `false_positive_rate` (clamped to `(1e-9, 0.5)`).
+    pub fn new(expected_items: usize, false_positive_rate: f64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = false_positive_rate.clamp(1e-9, 0.5);
+        // Optimal sizing: m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+        let m = (-(n * p.ln()) / (std::f64::consts::LN_2.powi(2))).ceil() as usize;
+        let m = m.max(64);
+        let k = ((m as f64 / n) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        BloomFilter {
+            bits: vec![0u64; m.div_ceil(64)],
+            num_bits: m,
+            num_hashes: k,
+            inserted: 0,
+            _key: PhantomData,
+        }
+    }
+
+    fn hashes(&self, key: &K) -> (u64, u64) {
+        let mut h1 = DefaultHasher::new();
+        key.hash(&mut h1);
+        let a = h1.finish();
+        let mut h2 = DefaultHasher::new();
+        0xb10f_f11e_u64.hash(&mut h2);
+        key.hash(&mut h2);
+        let b = h2.finish() | 1; // odd stride avoids degenerate cycling
+        (a, b)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &K) {
+        let (a, b) = self.hashes(key);
+        for i in 0..self.num_hashes {
+            let bit = (a.wrapping_add(b.wrapping_mul(i as u64)) % self.num_bits as u64) as usize;
+            self.bits[bit / 64] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Probabilistic membership test: `false` means *definitely absent*;
+    /// `true` means present with probability ≈ `1 − fp_rate`.
+    pub fn may_contain(&self, key: &K) -> bool {
+        let (a, b) = self.hashes(key);
+        (0..self.num_hashes).all(|i| {
+            let bit = (a.wrapping_add(b.wrapping_mul(i as u64)) % self.num_bits as u64) as usize;
+            self.bits[bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Number of keys inserted so far.
+    pub fn len(&self) -> usize {
+        self.inserted
+    }
+
+    /// True when no keys have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// Size of the bit array in bits.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Number of hash probes per operation.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Clears all bits, forgetting every inserted key.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+
+    /// In-memory footprint in bytes (bit array only).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 0.01);
+        for i in 0..1000u32 {
+            f.insert(&i);
+        }
+        for i in 0..1000u32 {
+            assert!(f.may_contain(&i), "false negative for {i}");
+        }
+        assert_eq!(f.len(), 1000);
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut f = BloomFilter::new(1000, 0.01);
+        for i in 0..1000u32 {
+            f.insert(&i);
+        }
+        let fps = (10_000..60_000u32).filter(|i| f.may_contain(i)).count();
+        let rate = fps as f64 / 50_000.0;
+        assert!(rate < 0.05, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything_probable() {
+        let f: BloomFilter<u64> = BloomFilter::new(100, 0.01);
+        assert!(f.is_empty());
+        assert!((0..1000u64).all(|i| !f.may_contain(&i)));
+    }
+
+    #[test]
+    fn tuple_keys() {
+        // The use-case from §4.3: (subdomain id, intersection id) pairs.
+        let mut f: BloomFilter<(usize, usize)> = BloomFilter::new(100, 0.01);
+        f.insert(&(3, 17));
+        f.insert(&(5, 2));
+        assert!(f.may_contain(&(3, 17)));
+        assert!(f.may_contain(&(5, 2)));
+        assert!(!f.may_contain(&(17, 3)) || !f.may_contain(&(2, 5)) || true);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::new(10, 0.01);
+        f.insert(&1u8);
+        assert!(f.may_contain(&1u8));
+        f.clear();
+        assert!(!f.may_contain(&1u8));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn sizing_sane() {
+        let f: BloomFilter<u32> = BloomFilter::new(10_000, 0.01);
+        // ~9.6 bits/key at 1% and ~7 hashes.
+        assert!(f.num_bits() > 80_000 && f.num_bits() < 120_000);
+        assert!(f.num_hashes() >= 5 && f.num_hashes() <= 9);
+        assert!(f.size_bytes() >= f.num_bits() / 8);
+    }
+
+    #[test]
+    fn degenerate_params_clamped() {
+        let f: BloomFilter<u32> = BloomFilter::new(0, 2.0);
+        assert!(f.num_bits() >= 64);
+        assert!(f.num_hashes() >= 1);
+    }
+}

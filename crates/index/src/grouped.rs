@@ -1,0 +1,288 @@
+//! A forest of per-group R-trees over query points.
+//!
+//! The fast ESE path (see `iq-core::ese`) groups query points by the object
+//! whose score defines their top-k admission threshold. A strategy's
+//! affected subspace is a *different slab per threshold object*, so slab
+//! retrieval must be scoped to one group at a time: this structure keeps an
+//! R-tree per group and routes slab/window queries accordingly.
+//!
+//! Groups are identified by a dense `usize` key supplied by the caller
+//! (typically an object id). Small groups fall back to a plain vector scan —
+//! below [`TREE_THRESHOLD`] points, walking an R-tree costs more than the
+//! scan it would save.
+
+use crate::rtree::RTree;
+use iq_geometry::Slab;
+use std::collections::HashMap;
+
+/// Below this population a group stores its points in a flat list.
+pub const TREE_THRESHOLD: usize = 32;
+
+#[derive(Debug, Clone)]
+enum GroupStore {
+    Flat(Vec<(Vec<f64>, usize)>),
+    Tree(RTree<usize>),
+}
+
+/// Per-group spatial index over `(point, payload)` pairs.
+#[derive(Debug, Clone)]
+pub struct GroupedQueryIndex {
+    dim: usize,
+    groups: HashMap<usize, GroupStore>,
+    len: usize,
+}
+
+impl GroupedQueryIndex {
+    /// Creates an empty index for `dim`-dimensional points.
+    pub fn new(dim: usize) -> Self {
+        GroupedQueryIndex { dim, groups: HashMap::new(), len: 0 }
+    }
+
+    /// Builds the index from an iterator of `(group, point, payload)`.
+    pub fn build(dim: usize, items: impl IntoIterator<Item = (usize, Vec<f64>, usize)>) -> Self {
+        let mut idx = Self::new(dim);
+        for (g, p, d) in items {
+            idx.insert(g, p, d);
+        }
+        idx
+    }
+
+    /// Total number of indexed points across all groups.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Iterates over the group keys.
+    pub fn group_keys(&self) -> impl Iterator<Item = usize> + '_ {
+        self.groups.keys().copied()
+    }
+
+    /// Inserts a point into `group`, upgrading the group to an R-tree when
+    /// it crosses [`TREE_THRESHOLD`].
+    pub fn insert(&mut self, group: usize, point: Vec<f64>, payload: usize) {
+        assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        let dim = self.dim;
+        let store = self
+            .groups
+            .entry(group)
+            .or_insert_with(|| GroupStore::Flat(Vec::new()));
+        match store {
+            GroupStore::Flat(v) => {
+                v.push((point, payload));
+                if v.len() > TREE_THRESHOLD {
+                    let items = std::mem::take(v);
+                    *store = GroupStore::Tree(RTree::bulk(dim, items));
+                }
+            }
+            GroupStore::Tree(t) => t.insert(point, payload),
+        }
+        self.len += 1;
+    }
+
+    /// Removes one point with the given payload from `group`.
+    /// Returns `true` when something was removed.
+    pub fn remove(&mut self, group: usize, point: &[f64], payload: usize) -> bool {
+        let Some(store) = self.groups.get_mut(&group) else {
+            return false;
+        };
+        let removed = match store {
+            GroupStore::Flat(v) => {
+                if let Some(pos) = v.iter().position(|(p, d)| p == point && *d == payload) {
+                    v.swap_remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            GroupStore::Tree(t) => t.remove(point, |&d| d == payload).is_some(),
+        };
+        if removed {
+            self.len -= 1;
+            let empty = match store {
+                GroupStore::Flat(v) => v.is_empty(),
+                GroupStore::Tree(t) => t.is_empty(),
+            };
+            if empty {
+                self.groups.remove(&group);
+            }
+        }
+        removed
+    }
+
+    /// Visits the payloads of all points of `group` inside the slab.
+    pub fn visit_slab(&self, group: usize, slab: &Slab, visit: &mut impl FnMut(usize)) {
+        match self.groups.get(&group) {
+            None => {}
+            Some(GroupStore::Flat(v)) => {
+                for (p, d) in v {
+                    if slab.contains(p) {
+                        visit(*d);
+                    }
+                }
+            }
+            Some(GroupStore::Tree(t)) => {
+                t.visit_slab(slab, &mut |e| visit(e.data));
+            }
+        }
+    }
+
+    /// Collects payloads of all points of `group` inside the slab.
+    pub fn search_slab(&self, group: usize, slab: &Slab) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit_slab(group, slab, &mut |d| out.push(d));
+        out
+    }
+
+    /// Tolerance-widened slab visit: points within `tol` of either boundary
+    /// are also reported (see `RTree::visit_slab_tol`).
+    pub fn visit_slab_tol(
+        &self,
+        group: usize,
+        slab: &Slab,
+        tol: f64,
+        visit: &mut impl FnMut(usize),
+    ) {
+        match self.groups.get(&group) {
+            None => {}
+            Some(GroupStore::Flat(v)) => {
+                for (p, d) in v {
+                    if slab.contains_tol(p, tol) {
+                        visit(*d);
+                    }
+                }
+            }
+            Some(GroupStore::Tree(t)) => {
+                t.visit_slab_tol(slab, tol, &mut |e| visit(e.data));
+            }
+        }
+    }
+
+    /// Visits every `(group, payload)` pair, in arbitrary order.
+    pub fn visit_all(&self, visit: &mut impl FnMut(usize, &[f64], usize)) {
+        for (&g, store) in &self.groups {
+            match store {
+                GroupStore::Flat(v) => {
+                    for (p, d) in v {
+                        visit(g, p, *d);
+                    }
+                }
+                GroupStore::Tree(t) => {
+                    for e in t.iter() {
+                        visit(g, &e.point, e.data);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rough in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.groups
+            .values()
+            .map(|s| match s {
+                GroupStore::Flat(v) => v.len() * (self.dim * 8 + 8) + 48,
+                GroupStore::Tree(t) => t.size_bytes() + 48,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iq_geometry::Vector;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GroupedQueryIndex::new(2);
+        assert!(idx.is_empty());
+        assert_eq!(idx.num_groups(), 0);
+    }
+
+    #[test]
+    fn insert_and_group_routing() {
+        let mut idx = GroupedQueryIndex::new(2);
+        idx.insert(0, vec![0.1, 0.2], 100);
+        idx.insert(1, vec![0.3, 0.4], 101);
+        idx.insert(0, vec![0.5, 0.6], 102);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.num_groups(), 2);
+        let mut seen = Vec::new();
+        idx.visit_all(&mut |g, _, d| seen.push((g, d)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 100), (0, 102), (1, 101)]);
+    }
+
+    #[test]
+    fn flat_to_tree_upgrade_preserves_search() {
+        let mut rnd = lcg(5);
+        let mut idx = GroupedQueryIndex::new(2);
+        let pts: Vec<Vec<f64>> = (0..200).map(|_| vec![rnd(), rnd()]).collect();
+        for (i, p) in pts.iter().enumerate() {
+            idx.insert(7, p.clone(), i);
+        }
+        assert_eq!(idx.len(), 200);
+        let p = Vector::from([0.8, 0.1]);
+        let o = Vector::from([0.1, 0.8]);
+        let s = Vector::from([-0.4, 0.2]);
+        let slab = Slab::affected_subspace(&p, &o, &s).unwrap();
+        let mut got = idx.search_slab(7, &slab);
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| slab.contains(q))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // Unknown group returns nothing.
+        assert!(idx.search_slab(99, &slab).is_empty());
+    }
+
+    #[test]
+    fn remove_shrinks_and_drops_groups() {
+        let mut idx = GroupedQueryIndex::new(1);
+        idx.insert(3, vec![1.0], 10);
+        idx.insert(3, vec![2.0], 11);
+        assert!(idx.remove(3, &[1.0], 10));
+        assert!(!idx.remove(3, &[1.0], 10)); // already gone
+        assert_eq!(idx.len(), 1);
+        assert!(idx.remove(3, &[2.0], 11));
+        assert_eq!(idx.num_groups(), 0);
+        assert!(!idx.remove(99, &[0.0], 0));
+    }
+
+    #[test]
+    fn remove_from_upgraded_group() {
+        let mut idx = GroupedQueryIndex::new(1);
+        for i in 0..100 {
+            idx.insert(0, vec![i as f64], i);
+        }
+        for i in 0..100 {
+            assert!(idx.remove(0, &[i as f64], i), "remove {i}");
+        }
+        assert!(idx.is_empty());
+        assert_eq!(idx.num_groups(), 0);
+    }
+}

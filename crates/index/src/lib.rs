@@ -1,0 +1,19 @@
+//! # iq-index
+//!
+//! Indexing substrate for the `improvement-queries` workspace: a
+//! from-scratch d-dimensional [R-tree](rtree::RTree) (Guttman 1984) with
+//! window, affected-subspace (slab), and kNN search; a
+//! [bloom filter](bloom::BloomFilter) over subdomain boundary keys (§4.3 of
+//! the paper); and a [grouped query index](grouped::GroupedQueryIndex) — a
+//! forest of per-threshold-object R-trees that routes the slab queries
+//! issued by Efficient Strategy Evaluation.
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod grouped;
+pub mod rtree;
+
+pub use bloom::BloomFilter;
+pub use grouped::GroupedQueryIndex;
+pub use rtree::{Entry, RTree, SplitAlgorithm};

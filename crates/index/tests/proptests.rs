@@ -1,0 +1,155 @@
+//! Property-based tests: the R-tree and grouped index must behave exactly
+//! like a naive list of points under arbitrary insert/remove interleavings.
+
+use iq_geometry::{BoundingBox, Slab, Vector};
+use iq_index::{BloomFilter, GroupedQueryIndex, RTree};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    // Small integer lattice: guarantees duplicates and boundary hits occur.
+    (-8i32..8).prop_map(|x| x as f64 * 0.5)
+}
+
+fn point(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(coord(), d)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<f64>),
+    Remove(usize),
+}
+
+fn ops(d: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => point(d).prop_map(Op::Insert),
+            1 => (0usize..200).prop_map(Op::Remove),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtree_matches_model_under_mutation(ops in ops(2), window in (point(2), point(2))) {
+        let mut tree: RTree<usize> = RTree::with_capacity(2, 4);
+        let mut model: Vec<(Vec<f64>, usize)> = Vec::new();
+        let mut next_id = 0usize;
+        for op in ops {
+            match op {
+                Op::Insert(p) => {
+                    tree.insert(p.clone(), next_id);
+                    model.push((p, next_id));
+                    next_id += 1;
+                }
+                Op::Remove(i) => {
+                    if !model.is_empty() {
+                        let victim = model.swap_remove(i % model.len());
+                        let removed = tree.remove(&victim.0, |&d| d == victim.1);
+                        prop_assert_eq!(removed, Some(victim.1));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        tree.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+
+        // Window query equivalence.
+        let lo: Vec<f64> = window.0.iter().zip(&window.1).map(|(a, b)| a.min(*b)).collect();
+        let hi: Vec<f64> = window.0.iter().zip(&window.1).map(|(a, b)| a.max(*b)).collect();
+        let w = BoundingBox::new(lo, hi);
+        let mut got: Vec<usize> = tree.search_box(&w).iter().map(|e| e.data).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = model
+            .iter()
+            .filter(|(p, _)| w.contains_point(p))
+            .map(|(_, d)| *d)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rtree_knn_matches_model(pts in prop::collection::vec(point(3), 1..80),
+                               q in point(3), k in 1usize..10) {
+        let mut tree = RTree::new(3);
+        for (i, p) in pts.iter().enumerate() {
+            tree.insert(p.clone(), i);
+        }
+        let got = tree.nearest_k(&q, k);
+        let mut dists: Vec<f64> = pts.iter().map(|p| iq_geometry::vector::dist(&q, p)).collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got.len(), k.min(pts.len()));
+        for (i, (_, d)) in got.iter().enumerate() {
+            prop_assert!((d - dists[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rtree_slab_matches_model(pts in prop::collection::vec(point(2), 1..80),
+                                p in point(2), o in point(2), s in point(2)) {
+        let pv = Vector::new(p);
+        let ov = Vector::new(o);
+        let sv = Vector::new(s);
+        let Some(slab) = Slab::affected_subspace(&pv, &ov, &sv) else {
+            return Ok(());
+        };
+        let mut tree = RTree::with_capacity(2, 4);
+        for (i, q) in pts.iter().enumerate() {
+            tree.insert(q.clone(), i);
+        }
+        let mut got: Vec<usize> = tree.search_slab(&slab).iter().map(|e| e.data).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| slab.contains(q))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn grouped_index_matches_model(
+        items in prop::collection::vec((0usize..4, point(2)), 1..100),
+        p in point(2), o in point(2), s in point(2),
+    ) {
+        let pv = Vector::new(p);
+        let ov = Vector::new(o);
+        let sv = Vector::new(s);
+        let Some(slab) = Slab::affected_subspace(&pv, &ov, &sv) else {
+            return Ok(());
+        };
+        let mut idx = GroupedQueryIndex::new(2);
+        for (i, (g, q)) in items.iter().enumerate() {
+            idx.insert(*g, q.clone(), i);
+        }
+        for g in 0..4 {
+            let mut got = idx.search_slab(g, &slab);
+            got.sort_unstable();
+            let mut want: Vec<usize> = items
+                .iter()
+                .enumerate()
+                .filter(|(_, (gg, q))| *gg == g && slab.contains(q))
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "group {}", g);
+        }
+    }
+
+    #[test]
+    fn bloom_never_false_negative(keys in prop::collection::vec(any::<u64>(), 1..300)) {
+        let mut f = BloomFilter::new(keys.len(), 0.01);
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(f.may_contain(k));
+        }
+    }
+}

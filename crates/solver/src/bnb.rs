@@ -1,0 +1,401 @@
+//! Exact improvement-strategy search by branch-and-bound over query
+//! subsets — the paper's "exhaustive search" option (§4.2.1: *"for query
+//! issuers who indeed want the optimal strategy … only feasible for very
+//! small datasets"*).
+//!
+//! Hitting query `j` with the improved object imposes the linear constraint
+//! `a_j · s ≤ b_j` (the target's score must drop below the k-th competitor's,
+//! Eq. 6 rearranged). Choosing which ≥ τ queries to hit is the combinatorial
+//! part; once a subset is fixed, the cheapest strategy satisfying its
+//! constraint system is a convex program delegated to a pluggable
+//! [`SubsetSolver`]. Because adding a constraint can never *reduce* the
+//! optimal cost, the cost of a partial subset lower-bounds all of its
+//! supersets — the pruning rule that makes branch-and-bound beat the `2^m`
+//! enumeration the paper mentions.
+
+use crate::projection::{min_norm_dykstra, HalfSpace, QpResult};
+use iq_geometry::Vector;
+
+/// The linear condition for the target to hit one query: `a · s ≤ b`.
+#[derive(Debug, Clone)]
+pub struct HitCondition {
+    /// Constraint normal (the query's weight vector).
+    pub a: Vector,
+    /// Right-hand side; `b ≥ 0` means the query is hit with no adjustment.
+    pub b: f64,
+}
+
+/// Solves "minimum cost strategy satisfying all given constraints".
+///
+/// Returns `Some((strategy, cost))` or `None` when infeasible. Implementors
+/// must guarantee monotonicity: a superset of constraints never yields a
+/// smaller cost (true for any fixed cost function).
+pub trait SubsetSolver {
+    /// Computes the cheapest strategy satisfying every constraint.
+    fn solve(&self, constraints: &[HalfSpace]) -> Option<(Vector, f64)>;
+}
+
+/// The default subset solver for the Euclidean cost of Eq. 30: minimum-norm
+/// point of the constraint polyhedron via Dykstra projections.
+#[derive(Debug, Clone, Default)]
+pub struct L2SubsetSolver;
+
+impl SubsetSolver for L2SubsetSolver {
+    fn solve(&self, constraints: &[HalfSpace]) -> Option<(Vector, f64)> {
+        if constraints.is_empty() {
+            return Some((Vector::zeros(0), 0.0));
+        }
+        match min_norm_dykstra(constraints, 4000, 1e-11) {
+            QpResult::Optimal(s) => {
+                let c = s.norm();
+                Some((s, c))
+            }
+            QpResult::Infeasible => None,
+        }
+    }
+}
+
+/// An exact search result.
+#[derive(Debug, Clone)]
+pub struct ExactSolution {
+    /// The optimal strategy.
+    pub strategy: Vector,
+    /// Its cost.
+    pub cost: f64,
+    /// Indices (into the input conditions) of the queries chosen to hit.
+    pub hit_set: Vec<usize>,
+}
+
+/// Exact **min-cost** improvement: the cheapest strategy hitting at least
+/// `tau` of the given queries. Exponential in the worst case; intended for
+/// small instances (≈ 20 queries) and as ground truth for the heuristics.
+///
+/// Returns `None` when no subset of size `tau` is jointly satisfiable.
+pub fn exact_min_cost<S: SubsetSolver>(
+    conditions: &[HitCondition],
+    tau: usize,
+    solver: &S,
+) -> Option<ExactSolution> {
+    if tau == 0 {
+        return Some(ExactSolution {
+            strategy: Vector::zeros(conditions.first().map_or(0, |c| c.a.dim())),
+            cost: 0.0,
+            hit_set: Vec::new(),
+        });
+    }
+    if tau > conditions.len() {
+        return None;
+    }
+    // Order queries by individual min cost (cheap first): good subsets are
+    // found early, tightening the pruning bound.
+    let mut order: Vec<usize> = (0..conditions.len()).collect();
+    let indiv: Vec<f64> = conditions
+        .iter()
+        .map(|c| {
+            solver
+                .solve(&[HalfSpace::new(c.a.clone(), c.b)])
+                .map_or(f64::INFINITY, |(_, cost)| cost)
+        })
+        .collect();
+    order.sort_by(|&x, &y| indiv[x].partial_cmp(&indiv[y]).unwrap());
+
+    struct Ctx<'a, S> {
+        conditions: &'a [HitCondition],
+        order: &'a [usize],
+        tau: usize,
+        solver: &'a S,
+        best: Option<ExactSolution>,
+    }
+
+    fn dfs<S: SubsetSolver>(ctx: &mut Ctx<'_, S>, pos: usize, chosen: &mut Vec<usize>) {
+        if chosen.len() == ctx.tau {
+            let cs: Vec<HalfSpace> = chosen
+                .iter()
+                .map(|&i| HalfSpace::new(ctx.conditions[i].a.clone(), ctx.conditions[i].b))
+                .collect();
+            if let Some((s, cost)) = ctx.solver.solve(&cs) {
+                if ctx.best.as_ref().is_none_or(|b| cost < b.cost) {
+                    ctx.best = Some(ExactSolution {
+                        strategy: s,
+                        cost,
+                        hit_set: chosen.clone(),
+                    });
+                }
+            }
+            return;
+        }
+        if pos >= ctx.order.len() || chosen.len() + (ctx.order.len() - pos) < ctx.tau {
+            return;
+        }
+        // Lower bound: cost of the partial subset (monotone under growth).
+        if !chosen.is_empty() {
+            let cs: Vec<HalfSpace> = chosen
+                .iter()
+                .map(|&i| HalfSpace::new(ctx.conditions[i].a.clone(), ctx.conditions[i].b))
+                .collect();
+            match ctx.solver.solve(&cs) {
+                None => return, // partial set already infeasible
+                Some((_, lb)) => {
+                    if ctx.best.as_ref().is_some_and(|b| lb >= b.cost) {
+                        return;
+                    }
+                }
+            }
+        }
+        // Branch: include order[pos], then exclude it.
+        chosen.push(ctx.order[pos]);
+        dfs(ctx, pos + 1, chosen);
+        chosen.pop();
+        dfs(ctx, pos + 1, chosen);
+    }
+
+    let mut ctx = Ctx { conditions, order: &order, tau, solver, best: None };
+    let mut chosen = Vec::with_capacity(tau);
+    dfs(&mut ctx, 0, &mut chosen);
+    ctx.best.map(|mut b| {
+        b.hit_set.sort_unstable();
+        b
+    })
+}
+
+/// Exact **max-hit** improvement: the strategy hitting the most queries
+/// subject to `cost ≤ budget`. Ties are broken toward lower cost.
+pub fn exact_max_hit<S: SubsetSolver>(
+    conditions: &[HitCondition],
+    budget: f64,
+    solver: &S,
+) -> ExactSolution {
+    struct Ctx<'a, S> {
+        conditions: &'a [HitCondition],
+        budget: f64,
+        solver: &'a S,
+        best: ExactSolution,
+    }
+
+    fn dfs<S: SubsetSolver>(ctx: &mut Ctx<'_, S>, pos: usize, chosen: &mut Vec<usize>) {
+        // Bound: even taking everything left cannot beat the incumbent.
+        let remaining = ctx.conditions.len() - pos;
+        if chosen.len() + remaining < ctx.best.hit_set.len()
+            || (chosen.len() + remaining == ctx.best.hit_set.len() && remaining == 0)
+        {
+            return;
+        }
+        // Feasibility/cost of the current subset.
+        let cs: Vec<HalfSpace> = chosen
+            .iter()
+            .map(|&i| HalfSpace::new(ctx.conditions[i].a.clone(), ctx.conditions[i].b))
+            .collect();
+        let Some((s, cost)) = ctx.solver.solve(&cs) else {
+            return;
+        };
+        if cost > ctx.budget + 1e-9 {
+            return;
+        }
+        let strategy = if s.dim() == 0 && !ctx.conditions.is_empty() {
+            Vector::zeros(ctx.conditions[0].a.dim())
+        } else {
+            s
+        };
+        if chosen.len() > ctx.best.hit_set.len()
+            || (chosen.len() == ctx.best.hit_set.len() && cost < ctx.best.cost)
+        {
+            ctx.best = ExactSolution {
+                strategy,
+                cost,
+                hit_set: chosen.clone(),
+            };
+        }
+        if pos == ctx.conditions.len() {
+            return;
+        }
+        chosen.push(pos);
+        dfs(ctx, pos + 1, chosen);
+        chosen.pop();
+        dfs(ctx, pos + 1, chosen);
+    }
+
+    let dim = conditions.first().map_or(0, |c| c.a.dim());
+    let mut ctx = Ctx {
+        conditions,
+        budget,
+        solver,
+        best: ExactSolution {
+            strategy: Vector::zeros(dim),
+            cost: 0.0,
+            hit_set: Vec::new(),
+        },
+    };
+    let mut chosen = Vec::new();
+    dfs(&mut ctx, 0, &mut chosen);
+    ctx.best.hit_set.sort_unstable();
+    ctx.best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(a: &[f64], b: f64) -> HitCondition {
+        HitCondition { a: Vector::from(a), b }
+    }
+
+    /// Brute-force oracle: try all subsets of size ≥ tau (min-cost) or all
+    /// subsets (max-hit).
+    fn brute_min_cost(conds: &[HitCondition], tau: usize) -> Option<f64> {
+        let n = conds.len();
+        let solver = L2SubsetSolver;
+        let mut best: Option<f64> = None;
+        for mask in 0u32..(1 << n) {
+            if (mask.count_ones() as usize) < tau {
+                continue;
+            }
+            let cs: Vec<HalfSpace> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| HalfSpace::new(conds[i].a.clone(), conds[i].b))
+                .collect();
+            if let Some((_, cost)) = solver.solve(&cs) {
+                if best.is_none_or(|b| cost < b) {
+                    best = Some(cost);
+                }
+            }
+        }
+        best
+    }
+
+    fn brute_max_hit(conds: &[HitCondition], budget: f64) -> usize {
+        let n = conds.len();
+        let solver = L2SubsetSolver;
+        let mut best = 0usize;
+        for mask in 0u32..(1 << n) {
+            let cs: Vec<HalfSpace> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| HalfSpace::new(conds[i].a.clone(), conds[i].b))
+                .collect();
+            if let Some((_, cost)) = solver.solve(&cs) {
+                if cost <= budget + 1e-9 {
+                    best = best.max(mask.count_ones() as usize);
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn min_cost_tau_zero() {
+        let sol = exact_min_cost(&[cond(&[1.0], -1.0)], 0, &L2SubsetSolver).unwrap();
+        assert_eq!(sol.cost, 0.0);
+        assert!(sol.hit_set.is_empty());
+    }
+
+    #[test]
+    fn min_cost_tau_too_large() {
+        assert!(exact_min_cost(&[cond(&[1.0], -1.0)], 2, &L2SubsetSolver).is_none());
+    }
+
+    #[test]
+    fn min_cost_picks_cheapest_single() {
+        let conds = vec![
+            cond(&[1.0, 0.0], -5.0), // cost 5 alone
+            cond(&[0.0, 1.0], -1.0), // cost 1 alone
+        ];
+        let sol = exact_min_cost(&conds, 1, &L2SubsetSolver).unwrap();
+        assert!((sol.cost - 1.0).abs() < 1e-6);
+        assert_eq!(sol.hit_set, vec![1]);
+    }
+
+    #[test]
+    fn min_cost_synergistic_pair() {
+        // Two constraints in the same direction: hitting both costs the max,
+        // not the sum.
+        let conds = vec![cond(&[1.0, 0.0], -2.0), cond(&[1.0, 0.0], -3.0)];
+        let sol = exact_min_cost(&conds, 2, &L2SubsetSolver).unwrap();
+        assert!((sol.cost - 3.0).abs() < 1e-5, "cost {}", sol.cost);
+    }
+
+    #[test]
+    fn min_cost_already_hit_queries_free() {
+        // b ≥ 0 queries are satisfied by the zero strategy.
+        let conds = vec![cond(&[1.0], 1.0), cond(&[1.0], 0.5)];
+        let sol = exact_min_cost(&conds, 2, &L2SubsetSolver).unwrap();
+        assert!(sol.cost < 1e-9);
+    }
+
+    #[test]
+    fn min_cost_matches_brute_force() {
+        let conds = vec![
+            cond(&[0.7, 0.3], -1.0),
+            cond(&[0.2, 0.8], -0.5),
+            cond(&[0.5, 0.5], -2.0),
+            cond(&[0.9, 0.1], -0.2),
+            cond(&[0.4, 0.6], -1.5),
+        ];
+        for tau in 1..=5 {
+            let got = exact_min_cost(&conds, tau, &L2SubsetSolver).map(|s| s.cost);
+            let want = brute_min_cost(&conds, tau);
+            match (got, want) {
+                (Some(g), Some(w)) => assert!((g - w).abs() < 1e-5, "tau={tau}: {g} vs {w}"),
+                (None, None) => {}
+                other => panic!("tau={tau}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn max_hit_zero_budget_counts_free_hits() {
+        let conds = vec![cond(&[1.0], 1.0), cond(&[1.0], -1.0)];
+        let sol = exact_max_hit(&conds, 0.0, &L2SubsetSolver);
+        assert_eq!(sol.hit_set, vec![0]);
+    }
+
+    #[test]
+    fn max_hit_matches_brute_force() {
+        let conds = vec![
+            cond(&[0.7, 0.3], -1.0),
+            cond(&[0.2, 0.8], -0.5),
+            cond(&[0.5, 0.5], -2.0),
+            cond(&[0.9, 0.1], -0.2),
+            cond(&[0.4, 0.6], -1.5),
+        ];
+        for budget in [0.1, 0.5, 1.0, 2.0, 5.0] {
+            let got = exact_max_hit(&conds, budget, &L2SubsetSolver).hit_set.len();
+            let want = brute_max_hit(&conds, budget);
+            assert_eq!(got, want, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn max_hit_respects_budget() {
+        let conds = vec![cond(&[1.0, 0.0], -3.0), cond(&[0.0, 1.0], -4.0)];
+        // Hitting both costs ‖(-3, -4)‖ = 5; budget 4.5 allows only one.
+        let sol = exact_max_hit(&conds, 4.5, &L2SubsetSolver);
+        assert_eq!(sol.hit_set.len(), 1);
+        assert!(sol.cost <= 4.5 + 1e-9);
+        // Budget 5.1 allows both.
+        let sol2 = exact_max_hit(&conds, 5.1, &L2SubsetSolver);
+        assert_eq!(sol2.hit_set.len(), 2);
+    }
+
+    #[test]
+    fn duality_binary_search_reduction() {
+        // §4.2.2: min-cost is recoverable from max-hit by binary searching
+        // the budget. Verify on a small instance.
+        let conds = vec![
+            cond(&[0.8, 0.2], -1.0),
+            cond(&[0.3, 0.7], -0.8),
+            cond(&[0.5, 0.5], -1.6),
+        ];
+        let tau = 2;
+        let direct = exact_min_cost(&conds, tau, &L2SubsetSolver).unwrap().cost;
+        // Binary search the smallest budget achieving tau hits.
+        let (mut lo, mut hi) = (0.0f64, 10.0f64);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if exact_max_hit(&conds, mid, &L2SubsetSolver).hit_set.len() >= tau {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        assert!((hi - direct).abs() < 1e-4, "binary-search {hi} vs direct {direct}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # iq-solver
+//!
+//! Mathematical-optimization substrate for the `improvement-queries`
+//! workspace — the stand-in for the "standard math tools" the paper invokes
+//! for its optimization subproblems (citation \[12\], Khachiyan):
+//!
+//! * [`simplex`] — dense two-phase primal simplex for linear programs
+//!   (linear and asymmetric cost functions);
+//! * [`projection`] — closed-form and Dykstra-iterated minimum-norm points
+//!   under half-space constraints (the Euclidean cost of Eq. 30);
+//! * [`line_search`] — golden-section / bisection primitives for arbitrary
+//!   user-defined cost functions;
+//! * [`bnb`] — exact branch-and-bound improvement search, the paper's
+//!   "exhaustive search" option and the ground truth for heuristics.
+
+#![warn(missing_docs)]
+
+pub mod bnb;
+pub mod line_search;
+pub mod projection;
+pub mod simplex;
+
+pub use bnb::{
+    exact_max_hit, exact_min_cost, ExactSolution, HitCondition, L2SubsetSolver, SubsetSolver,
+};
+pub use projection::{min_norm, min_norm_single, HalfSpace, QpResult};
+pub use simplex::{solve as solve_lp, Constraint, LinearProgram, LpResult, Relation, VarBound};

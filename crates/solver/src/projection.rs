@@ -1,0 +1,301 @@
+//! Minimum-norm points under linear inequality constraints.
+//!
+//! The Euclidean cost function the paper uses throughout its evaluation
+//! (Eq. 30, `Cost(s) = ‖s‖₂`) turns the per-query min-cost subproblem
+//! (Eqs. 13–14) into *"find the smallest vector satisfying one linear
+//! inequality"* — solved in closed form by [`min_norm_single`] — and turns
+//! the exact multi-query problem into a min-norm QP over a polyhedron,
+//! solved by Dykstra's alternating-projection algorithm ([`min_norm_dykstra`]).
+
+use iq_geometry::vector::dot;
+use iq_geometry::Vector;
+
+/// A half-space constraint `a · s ≤ b`.
+#[derive(Debug, Clone)]
+pub struct HalfSpace {
+    /// Constraint normal.
+    pub a: Vector,
+    /// Right-hand side.
+    pub b: f64,
+}
+
+impl HalfSpace {
+    /// Creates `a · s ≤ b`.
+    pub fn new(a: Vector, b: f64) -> Self {
+        HalfSpace { a, b }
+    }
+
+    /// Whether `s` satisfies the constraint (with tolerance `eps`).
+    pub fn satisfied(&self, s: &Vector, eps: f64) -> bool {
+        dot(self.a.as_slice(), s.as_slice()) <= self.b + eps
+    }
+
+    /// Euclidean projection of `s` onto the half-space.
+    pub fn project(&self, s: &Vector) -> Vector {
+        let v = dot(self.a.as_slice(), s.as_slice()) - self.b;
+        if v <= 0.0 {
+            s.clone()
+        } else {
+            s.axpy(-v / self.a.norm_sq(), &self.a)
+        }
+    }
+}
+
+/// Minimizes `‖s‖₂` subject to the single constraint `a · s ≤ b`.
+///
+/// Closed form: the origin when `b ≥ 0`, otherwise the projection of the
+/// origin onto the boundary hyperplane, `s = a · (b / ‖a‖²)`.
+///
+/// Returns `None` when the constraint is unsatisfiable (`a = 0` with
+/// `b < 0`).
+pub fn min_norm_single(a: &Vector, b: f64) -> Option<Vector> {
+    if b >= 0.0 {
+        return Some(Vector::zeros(a.dim()));
+    }
+    let nsq = a.norm_sq();
+    if nsq <= f64::EPSILON {
+        return None;
+    }
+    Some(a.scaled(b / nsq))
+}
+
+/// Minimizes the *weighted* squared norm `Σ wᵢ sᵢ²` subject to `a · s ≤ b`.
+///
+/// Lagrangian stationarity gives `sᵢ = λ aᵢ / wᵢ` with
+/// `λ = b / Σ aᵢ² / wᵢ` when `b < 0`. All weights must be positive.
+pub fn min_weighted_norm_single(a: &Vector, b: f64, weights: &[f64]) -> Option<Vector> {
+    assert_eq!(a.dim(), weights.len(), "weights length mismatch");
+    assert!(
+        weights.iter().all(|&w| w > 0.0),
+        "weights must be strictly positive"
+    );
+    if b >= 0.0 {
+        return Some(Vector::zeros(a.dim()));
+    }
+    let denom: f64 = a
+        .iter()
+        .zip(weights)
+        .map(|(ai, wi)| ai * ai / wi)
+        .sum();
+    if denom <= f64::EPSILON {
+        return None;
+    }
+    let lambda = b / denom;
+    Some(Vector::new(
+        a.iter()
+            .zip(weights)
+            .map(|(ai, wi)| lambda * ai / wi)
+            .collect(),
+    ))
+}
+
+/// Outcome of the Dykstra iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QpResult {
+    /// Converged to the min-norm feasible point.
+    Optimal(Vector),
+    /// No feasible point was found within the iteration budget — either the
+    /// polyhedron is empty or pathologically thin.
+    Infeasible,
+}
+
+/// Minimizes `‖s‖₂` over the intersection of half-spaces using Dykstra's
+/// alternating projection algorithm.
+///
+/// Dykstra's method (unlike plain cyclic projection) converges to the actual
+/// *projection of the starting point* onto the intersection, which for a
+/// zero start is exactly the min-norm point. `max_iter` full sweeps are
+/// attempted; convergence is declared when an entire sweep moves the iterate
+/// by less than `tol` **and** every constraint holds to tolerance.
+pub fn min_norm_dykstra(constraints: &[HalfSpace], max_iter: usize, tol: f64) -> QpResult {
+    if constraints.is_empty() {
+        // Unconstrained: the min-norm point is the origin. The dimension is
+        // unknown without constraints; report an empty vector.
+        return QpResult::Optimal(Vector::zeros(0));
+    }
+    let dim = constraints[0].a.dim();
+    let mut x = Vector::zeros(dim);
+    let mut corrections: Vec<Vector> = vec![Vector::zeros(dim); constraints.len()];
+
+    for _ in 0..max_iter {
+        let mut max_move = 0.0f64;
+        for (i, hs) in constraints.iter().enumerate() {
+            let y = &x + &corrections[i];
+            let projected = hs.project(&y);
+            let new_corr = &y - &projected;
+            let step = (&projected - &x).norm();
+            max_move = max_move.max((&new_corr - &corrections[i]).norm()).max(step);
+            corrections[i] = new_corr;
+            x = projected;
+        }
+        if max_move < tol {
+            break;
+        }
+    }
+    let feasible = constraints
+        .iter()
+        .all(|hs| hs.satisfied(&x, tol.max(1e-7) * 100.0));
+    if feasible {
+        QpResult::Optimal(x)
+    } else {
+        QpResult::Infeasible
+    }
+}
+
+/// Convenience wrapper: min-norm point under a constraint system given as
+/// `(normal, rhs)` pairs, with sane iteration defaults.
+pub fn min_norm(constraints: &[(Vector, f64)]) -> QpResult {
+    let hs: Vec<HalfSpace> = constraints
+        .iter()
+        .map(|(a, b)| HalfSpace::new(a.clone(), *b))
+        .collect();
+    min_norm_dykstra(&hs, 2000, 1e-10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_inactive_constraint() {
+        // b ≥ 0: origin already feasible.
+        let s = min_norm_single(&Vector::from([1.0, 2.0]), 5.0).unwrap();
+        assert!(s.is_zero(0.0));
+    }
+
+    #[test]
+    fn single_active_constraint_closed_form() {
+        // a = (3, 4), b = -5: s = a * (-5/25) = (-0.6, -0.8), ‖s‖ = 1.
+        let a = Vector::from([3.0, 4.0]);
+        let s = min_norm_single(&a, -5.0).unwrap();
+        assert!((s[0] + 0.6).abs() < 1e-12);
+        assert!((s[1] + 0.8).abs() < 1e-12);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+        // The constraint is tight.
+        assert!((a.dot(&s) + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_unsatisfiable() {
+        assert!(min_norm_single(&Vector::zeros(3), -1.0).is_none());
+    }
+
+    #[test]
+    fn weighted_single_matches_unweighted_when_uniform() {
+        let a = Vector::from([1.0, -2.0, 0.5]);
+        let u = min_norm_single(&a, -3.0).unwrap();
+        let w = min_weighted_norm_single(&a, -3.0, &[1.0, 1.0, 1.0]).unwrap();
+        for i in 0..3 {
+            assert!((u[i] - w[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_single_prefers_cheap_coordinates() {
+        // Making coordinate 0 expensive shifts the adjustment to coord 1.
+        let a = Vector::from([1.0, 1.0]);
+        let s = min_weighted_norm_single(&a, -1.0, &[100.0, 1.0]).unwrap();
+        assert!(s[1].abs() > s[0].abs() * 10.0, "{s:?}");
+        // Constraint still tight.
+        assert!((a.dot(&s) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halfspace_projection() {
+        let hs = HalfSpace::new(Vector::from([1.0, 0.0]), 2.0);
+        // Feasible point unchanged.
+        let inside = Vector::from([1.0, 5.0]);
+        assert_eq!(hs.project(&inside).as_slice(), inside.as_slice());
+        // Violating point lands on the boundary.
+        let out = Vector::from([4.0, 1.0]);
+        let p = hs.project(&out);
+        assert!((p[0] - 2.0).abs() < 1e-12);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dykstra_single_constraint_matches_closed_form() {
+        let a = Vector::from([3.0, 4.0]);
+        let closed = min_norm_single(&a, -5.0).unwrap();
+        match min_norm(&[(a, -5.0)]) {
+            QpResult::Optimal(x) => {
+                assert!((&x - &closed).norm() < 1e-6, "{x:?} vs {closed:?}");
+            }
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn dykstra_two_constraints() {
+        // s₁ ≤ -1 and s₂ ≤ -1: min-norm point is (-1, -1).
+        let cs = vec![
+            (Vector::from([1.0, 0.0]), -1.0),
+            (Vector::from([0.0, 1.0]), -1.0),
+        ];
+        match min_norm(&cs) {
+            QpResult::Optimal(x) => {
+                assert!((x[0] + 1.0).abs() < 1e-6);
+                assert!((x[1] + 1.0).abs() < 1e-6);
+            }
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn dykstra_redundant_constraints() {
+        // Same constraint thrice: answer unchanged.
+        let a = Vector::from([1.0, 1.0]);
+        let cs = vec![(a.clone(), -2.0), (a.clone(), -2.0), (a.clone(), -2.0)];
+        match min_norm(&cs) {
+            QpResult::Optimal(x) => {
+                assert!((x[0] + 1.0).abs() < 1e-6);
+                assert!((x[1] + 1.0).abs() < 1e-6);
+            }
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn dykstra_kkt_optimality() {
+        // min-norm point x* of a polyhedron satisfies: x* = −Σ λᵢ aᵢ with
+        // λ ≥ 0 and complementary slackness. We verify optimality indirectly:
+        // no feasible point in a small neighbourhood has smaller norm.
+        let cs = vec![
+            (Vector::from([1.0, 2.0]), -3.0),
+            (Vector::from([2.0, 1.0]), -3.0),
+        ];
+        let QpResult::Optimal(x) = min_norm(&cs) else {
+            panic!("expected optimal");
+        };
+        let base = x.norm();
+        for dx in [-0.05, 0.0, 0.05] {
+            for dy in [-0.05, 0.0, 0.05] {
+                let cand = Vector::from([x[0] + dx, x[1] + dy]);
+                let feas = cs
+                    .iter()
+                    .all(|(a, b)| a.dot(&cand) <= b + 1e-9);
+                if feas {
+                    assert!(cand.norm() + 1e-9 >= base);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dykstra_infeasible_detected() {
+        // s₁ ≤ -1 and -s₁ ≤ -1 (s₁ ≥ 1): empty.
+        let cs = vec![
+            (Vector::from([1.0]), -1.0),
+            (Vector::from([-1.0]), -1.0),
+        ];
+        assert_eq!(min_norm(&cs), QpResult::Infeasible);
+    }
+
+    #[test]
+    fn dykstra_empty_input() {
+        match min_norm(&[]) {
+            QpResult::Optimal(x) => assert_eq!(x.dim(), 0),
+            r => panic!("{r:?}"),
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! A dense two-phase primal simplex solver for linear programs.
+//!
+//! The paper solves its per-query minimum-cost subproblem (Eqs. 13–14) with
+//! "standard math tools like \[12\]" (Khachiyan's polynomial LP algorithm).
+//! This module is that substrate: a self-contained LP solver used for
+//! linear/asymmetric cost functions and inside the exact branch-and-bound
+//! search. Bland's anti-cycling rule keeps it terminating on degenerate
+//! instances; the dense tableau is appropriate for the small systems
+//! improvement queries generate (d variables, a handful of constraints).
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `coeffs · x ≤ rhs`
+    Le,
+    /// `coeffs · x ≥ rhs`
+    Ge,
+    /// `coeffs · x = rhs`
+    Eq,
+}
+
+/// One linear constraint `coeffs · x  <relation>  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficients, one per variable.
+    pub coeffs: Vec<f64>,
+    /// The relation between the linear form and `rhs`.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor for a `≤` constraint.
+    pub fn le(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Constraint { coeffs, relation: Relation::Le, rhs }
+    }
+
+    /// Convenience constructor for a `≥` constraint.
+    pub fn ge(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Constraint { coeffs, relation: Relation::Ge, rhs }
+    }
+
+    /// Convenience constructor for an `=` constraint.
+    pub fn eq(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Constraint { coeffs, relation: Relation::Eq, rhs }
+    }
+}
+
+/// Sign restriction of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarBound {
+    /// `x ≥ 0`.
+    NonNegative,
+    /// `x` unrestricted in sign (internally split into `x⁺ − x⁻`).
+    Free,
+}
+
+/// A linear program `minimize c · x` subject to constraints and sign bounds.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    /// Objective coefficients (minimized).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+    /// Per-variable sign restriction; must match `objective.len()`.
+    pub bounds: Vec<VarBound>,
+}
+
+/// Result of solving an LP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal solution found: variable values and objective value.
+    Optimal {
+        /// Optimal assignment of the original variables.
+        x: Vec<f64>,
+        /// Objective value `c · x`.
+        value: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves the linear program with two-phase primal simplex.
+pub fn solve(lp: &LinearProgram) -> LpResult {
+    let n_orig = lp.objective.len();
+    assert_eq!(lp.bounds.len(), n_orig, "bounds/objective length mismatch");
+    for c in &lp.constraints {
+        assert_eq!(c.coeffs.len(), n_orig, "constraint width mismatch");
+    }
+
+    // --- Convert to standard form: min c·y, A y = b, y ≥ 0. ---
+    // Free variables split into (plus, minus) pairs; Le rows gain slacks,
+    // Ge rows gain surpluses.
+    // Column layout: [split original vars][slacks/surpluses].
+    let mut col_of_var: Vec<(usize, Option<usize>)> = Vec::with_capacity(n_orig);
+    let mut n_cols = 0usize;
+    for b in &lp.bounds {
+        match b {
+            VarBound::NonNegative => {
+                col_of_var.push((n_cols, None));
+                n_cols += 1;
+            }
+            VarBound::Free => {
+                col_of_var.push((n_cols, Some(n_cols + 1)));
+                n_cols += 2;
+            }
+        }
+    }
+    let m = lp.constraints.len();
+    let n_slack = lp
+        .constraints
+        .iter()
+        .filter(|c| c.relation != Relation::Eq)
+        .count();
+    let n = n_cols + n_slack;
+
+    // Rows of A and b.
+    let mut a = vec![vec![0.0; n]; m];
+    let mut b = vec![0.0; m];
+    let mut slack_idx = n_cols;
+    for (i, c) in lp.constraints.iter().enumerate() {
+        for (j, &coef) in c.coeffs.iter().enumerate() {
+            let (p, mneg) = col_of_var[j];
+            a[i][p] = coef;
+            if let Some(q) = mneg {
+                a[i][q] = -coef;
+            }
+        }
+        b[i] = c.rhs;
+        match c.relation {
+            Relation::Le => {
+                a[i][slack_idx] = 1.0;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                a[i][slack_idx] = -1.0;
+                slack_idx += 1;
+            }
+            Relation::Eq => {}
+        }
+        // Normalize to b ≥ 0.
+        if b[i] < 0.0 {
+            b[i] = -b[i];
+            for v in a[i].iter_mut() {
+                *v = -*v;
+            }
+        }
+    }
+
+    // Objective over standard-form columns.
+    let mut c_std = vec![0.0; n];
+    for (j, &cj) in lp.objective.iter().enumerate() {
+        let (p, mneg) = col_of_var[j];
+        c_std[p] = cj;
+        if let Some(q) = mneg {
+            c_std[q] = -cj;
+        }
+    }
+
+    // --- Phase 1: artificial variables, minimize their sum. ---
+    // Tableau columns: n structural + m artificial + 1 rhs.
+    let total = n + m;
+    let mut t = vec![vec![0.0; total + 1]; m + 1];
+    for i in 0..m {
+        for j in 0..n {
+            t[i][j] = a[i][j];
+        }
+        t[i][n + i] = 1.0;
+        t[i][total] = b[i];
+    }
+    // Phase-1 objective row: minimize sum of artificials ⇒ row = −Σ rows.
+    let mut basis: Vec<usize> = (n..n + m).collect();
+    for j in 0..=total {
+        let s: f64 = (0..m).map(|i| t[i][j]).sum();
+        t[m][j] = -s;
+    }
+    for i in n..n + m {
+        t[m][i] = 0.0;
+    }
+
+    if !pivot_until_optimal(&mut t, &mut basis, total) {
+        // Phase 1 of a bounded-below objective can't be unbounded.
+        return LpResult::Infeasible;
+    }
+    if t[m][total].abs() > 1e-7 {
+        return LpResult::Infeasible;
+    }
+
+    // Drive artificials out of the basis where possible.
+    for i in 0..m {
+        if basis[i] >= n {
+            if let Some(j) = (0..n).find(|&j| t[i][j].abs() > EPS) {
+                pivot(&mut t, &mut basis, i, j, total);
+            }
+            // If no structural column is available the row is redundant
+            // (all-zero); the artificial stays basic at value 0, harmless.
+        }
+    }
+
+    // --- Phase 2: original objective. ---
+    // Rebuild the objective row in terms of the current basis.
+    for j in 0..=total {
+        t[m][j] = 0.0;
+    }
+    for j in 0..n {
+        t[m][j] = c_std[j];
+    }
+    // Zero out basic columns by row elimination.
+    for i in 0..m {
+        let bj = basis[i];
+        let coef = t[m][bj];
+        if coef.abs() > EPS {
+            for j in 0..=total {
+                t[m][j] -= coef * t[i][j];
+            }
+        }
+    }
+    // Forbid re-entry of artificial columns.
+    let allowed = n;
+    if !pivot_until_optimal_limited(&mut t, &mut basis, total, allowed) {
+        return LpResult::Unbounded;
+    }
+
+    // Extract solution.
+    let mut y = vec![0.0; n];
+    for (i, &bj) in basis.iter().enumerate() {
+        if bj < n {
+            y[bj] = t[i][total];
+        }
+    }
+    let mut x = vec![0.0; n_orig];
+    for (j, &(p, mneg)) in col_of_var.iter().enumerate() {
+        x[j] = y[p] - mneg.map_or(0.0, |q| y[q]);
+    }
+    let value: f64 = lp
+        .objective
+        .iter()
+        .zip(&x)
+        .map(|(c, v)| c * v)
+        .sum();
+    LpResult::Optimal { x, value }
+}
+
+/// Runs simplex pivots until optimality; `false` means unbounded.
+fn pivot_until_optimal(t: &mut [Vec<f64>], basis: &mut [usize], total: usize) -> bool {
+    pivot_until_optimal_limited(t, basis, total, total)
+}
+
+fn pivot_until_optimal_limited(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    total: usize,
+    allowed_cols: usize,
+) -> bool {
+    let m = basis.len();
+    // Bland's rule: entering = lowest-index column with negative reduced
+    // cost; leaving = lowest-index row among minimum ratios. Guarantees
+    // termination; iteration cap is pure defense-in-depth.
+    for _ in 0..100_000 {
+        let Some(enter) = (0..allowed_cols).find(|&j| t[m][j] < -EPS) else {
+            return true; // optimal
+        };
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][enter] > EPS {
+                let ratio = t[i][total] / t[i][enter];
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(row) = leave else {
+            return false; // unbounded
+        };
+        pivot(t, basis, row, enter, total);
+    }
+    // Shouldn't happen with Bland's rule; treat as numerically stuck.
+    true
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let p = t[row][col];
+    debug_assert!(p.abs() > 0.0, "pivot on zero element");
+    for j in 0..=total {
+        t[row][j] /= p;
+    }
+    for i in 0..t.len() {
+        if i != row {
+            let f = t[i][col];
+            if f.abs() > EPS {
+                for j in 0..=total {
+                    t[i][j] -= f * t[row][j];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(r: &LpResult, want_x: &[f64], want_v: f64) {
+        match r {
+            LpResult::Optimal { x, value } => {
+                assert!((value - want_v).abs() < 1e-6, "value {value} != {want_v}");
+                for (a, b) in x.iter().zip(want_x) {
+                    assert!((a - b).abs() < 1e-6, "x {x:?} != {want_x:?}");
+                }
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization_as_min() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0
+        // Optimum (2, 6), value 36 → minimize the negation.
+        let lp = LinearProgram {
+            objective: vec![-3.0, -5.0],
+            constraints: vec![
+                Constraint::le(vec![1.0, 0.0], 4.0),
+                Constraint::le(vec![0.0, 2.0], 12.0),
+                Constraint::le(vec![3.0, 2.0], 18.0),
+            ],
+            bounds: vec![VarBound::NonNegative; 2],
+        };
+        assert_optimal(&solve(&lp), &[2.0, 6.0], -36.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 10, x - y = 2 → (6, 4), value 10.
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                Constraint::eq(vec![1.0, 1.0], 10.0),
+                Constraint::eq(vec![1.0, -1.0], 2.0),
+            ],
+            bounds: vec![VarBound::NonNegative; 2],
+        };
+        assert_optimal(&solve(&lp), &[6.0, 4.0], 10.0);
+    }
+
+    #[test]
+    fn ge_constraints_phase1_needed() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → (4, 0)? x=4,y=0: cost 8.
+        let lp = LinearProgram {
+            objective: vec![2.0, 3.0],
+            constraints: vec![
+                Constraint::ge(vec![1.0, 1.0], 4.0),
+                Constraint::ge(vec![1.0, 0.0], 1.0),
+            ],
+            bounds: vec![VarBound::NonNegative; 2],
+        };
+        assert_optimal(&solve(&lp), &[4.0, 0.0], 8.0);
+    }
+
+    #[test]
+    fn free_variables() {
+        // min |style| cost with free var: min x + y s.t. x + y ≥ -5 with
+        // both free is unbounded; with objective x - y and x + y = 3,
+        // x - y ≥ -1: optimum at x - y = -1 → value -1.
+        let lp = LinearProgram {
+            objective: vec![1.0, -1.0],
+            constraints: vec![
+                Constraint::eq(vec![1.0, 1.0], 3.0),
+                Constraint::ge(vec![1.0, -1.0], -1.0),
+            ],
+            bounds: vec![VarBound::Free; 2],
+        };
+        match solve(&lp) {
+            LpResult::Optimal { x, value } => {
+                assert!((value - (-1.0)).abs() < 1e-6);
+                assert!((x[0] + x[1] - 3.0).abs() < 1e-6);
+                assert!((x[0] - x[1] + 1.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2.
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![
+                Constraint::le(vec![1.0], 1.0),
+                Constraint::ge(vec![1.0], 2.0),
+            ],
+            bounds: vec![VarBound::NonNegative],
+        };
+        assert_eq!(solve(&lp), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x, x ≥ 0, no upper bound.
+        let lp = LinearProgram {
+            objective: vec![-1.0],
+            constraints: vec![Constraint::ge(vec![1.0], 0.0)],
+            bounds: vec![VarBound::NonNegative],
+        };
+        assert_eq!(solve(&lp), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn unbounded_free_variable() {
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![],
+            bounds: vec![VarBound::Free],
+        };
+        assert_eq!(solve(&lp), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple constraints through the same vertex (degenerate).
+        let lp = LinearProgram {
+            objective: vec![-1.0, -1.0],
+            constraints: vec![
+                Constraint::le(vec![1.0, 0.0], 1.0),
+                Constraint::le(vec![0.0, 1.0], 1.0),
+                Constraint::le(vec![1.0, 1.0], 2.0),
+                Constraint::le(vec![2.0, 1.0], 3.0),
+                Constraint::le(vec![1.0, 2.0], 3.0),
+            ],
+            bounds: vec![VarBound::NonNegative; 2],
+        };
+        assert_optimal(&solve(&lp), &[1.0, 1.0], -2.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalized() {
+        // min x s.t. -x ≤ -3 (i.e. x ≥ 3).
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![Constraint::le(vec![-1.0], -3.0)],
+            bounds: vec![VarBound::NonNegative],
+        };
+        assert_optimal(&solve(&lp), &[3.0], 3.0);
+    }
+
+    #[test]
+    fn min_cost_strategy_shape() {
+        // The improvement-query subproblem with an L1-style cost:
+        // minimize u₁+v₁+u₂+v₂ (|s₁|+|s₂| via split) s.t. the score drop
+        // q·s ≤ −g with q = (0.6, 0.8), g = 1.2. Cheapest: push the
+        // coordinate with the largest |q| ⇒ s₂ = −1.5, cost 1.5.
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0, 1.0, 1.0],
+            constraints: vec![Constraint::le(
+                // s₁ = u₁ − v₁, s₂ = u₂ − v₂ written out.
+                vec![0.6, -0.6, 0.8, -0.8],
+                -1.2,
+            )],
+            bounds: vec![VarBound::NonNegative; 4],
+        };
+        match solve(&lp) {
+            LpResult::Optimal { x, value } => {
+                assert!((value - 1.5).abs() < 1e-6, "value {value}");
+                let s2 = x[2] - x[3];
+                assert!((s2 + 1.5).abs() < 1e-6, "s2 {s2}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_constraint_lp() {
+        let lp = LinearProgram {
+            objective: vec![1.0, 2.0],
+            constraints: vec![],
+            bounds: vec![VarBound::NonNegative; 2],
+        };
+        assert_optimal(&solve(&lp), &[0.0, 0.0], 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # iq-topk
+//!
+//! Rank-aware query substrate: the top-k machinery the improvement-query
+//! layer builds on, plus every comparator scheme the paper evaluates
+//! against.
+//!
+//! * [`naive`] — exhaustive top-k / ranking, the correctness oracle;
+//! * [`dominant_graph`] — the Dominant Graph index (Zou & Chen, ICDE 2008),
+//!   the indexing comparator of Figs. 4 and 6;
+//! * [`rta`] — the reverse top-k Threshold Algorithm (Vlachou et al., TKDE
+//!   2011) behind the `RTA-IQ` baseline;
+//! * [`onion`] — the convex-layer Onion index (Chang et al., SIGMOD 2000);
+//! * [`reverse`] — naive reverse top-k and reverse k-ranks reference
+//!   queries.
+//!
+//! Ranking convention everywhere: **ascending score** (Eq. 6 of the paper),
+//! ties broken by object id.
+
+#![warn(missing_docs)]
+
+pub mod dominant_graph;
+pub mod max_rank;
+pub mod naive;
+pub mod onion;
+pub mod reverse;
+pub mod rta;
+
+pub use dominant_graph::DominantGraph;
+pub use naive::{score, top_k, TopKQuery};
+pub use onion::OnionIndex;
+pub use max_rank::{max_rank_2d, max_rank_sampled, MaxRankResult};
+pub use rta::RtaResult;

@@ -1,0 +1,195 @@
+//! Maximum rank query (Mouratidis, Zhang & Pang, VLDB 2015) — the §2
+//! related-work query the paper contrasts improvement queries against:
+//! *"the maximum rank is not achieved by adjusting attributes of the object
+//! itself, but by exploring different utility functions"*.
+//!
+//! Given a target object, find the best (smallest) rank it can reach under
+//! **any** linear utility function. For two attributes the answer is exact:
+//! with normalized weights `q = (t, 1 − t)`, every object is a line over
+//! `t ∈ [0, 1]`, the target's rank only changes where its line crosses
+//! another object's (discovered with the plane-sweep substrate), so
+//! scanning the crossing parameters in order yields the true minimum. For
+//! higher dimensions a deterministic grid-plus-jitter sampler gives an
+//! upper bound on the best rank.
+
+use crate::naive::rank_of;
+use iq_geometry::sweep::line_intersections_1d;
+
+/// Result of a maximum rank query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxRankResult {
+    /// The best (1-based) rank achievable.
+    pub rank: usize,
+    /// A weight vector achieving it.
+    pub weights: Vec<f64>,
+}
+
+/// Exact maximum rank for 2-attribute datasets over the normalized weight
+/// family `q = (t, 1 − t)`, `t ∈ [0, 1]`.
+///
+/// # Panics
+/// Panics unless all objects are 2-dimensional.
+pub fn max_rank_2d(objects: &[Vec<f64>], target: usize) -> MaxRankResult {
+    assert!(
+        objects.iter().all(|o| o.len() == 2),
+        "max_rank_2d requires 2-dimensional objects"
+    );
+    // Each object is the line f(t) = (a − b)·t + b over t ∈ [0, 1].
+    let funcs: Vec<(f64, f64)> = objects.iter().map(|o| (o[0] - o[1], o[1])).collect();
+
+    // The target's rank is piecewise constant between crossings of its own
+    // line with the others; evaluate one point per piece.
+    let mut cuts: Vec<f64> = line_intersections_1d(&funcs, 0.0, 1.0)
+        .into_iter()
+        .filter(|&(i, j, _)| i == target || j == target)
+        .map(|(_, _, t)| t)
+        .collect();
+    cuts.push(0.0);
+    cuts.push(1.0);
+    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut best = MaxRankResult { rank: usize::MAX, weights: vec![0.0, 1.0] };
+    let mut consider = |t: f64| {
+        let w = vec![t, 1.0 - t];
+        let r = rank_of(objects, &w, target);
+        if r < best.rank {
+            best = MaxRankResult { rank: r, weights: w };
+        }
+    };
+    // Piece midpoints plus the boundary parameters (ties live there).
+    for pair in cuts.windows(2) {
+        consider(0.5 * (pair[0] + pair[1]));
+    }
+    for &t in &cuts {
+        consider(t.clamp(0.0, 1.0));
+    }
+    best
+}
+
+/// Sampled maximum rank for arbitrary dimensionality: a deterministic
+/// lattice of normalized weight vectors. Returns an upper bound on the
+/// optimum (tight as `resolution` grows; exact in the 1-piece-per-cell
+/// regime).
+pub fn max_rank_sampled(objects: &[Vec<f64>], target: usize, resolution: usize) -> MaxRankResult {
+    let d = objects.first().map_or(0, |o| o.len());
+    assert!(d >= 1, "empty objects");
+    let mut best = MaxRankResult { rank: usize::MAX, weights: vec![1.0 / d as f64; d] };
+    let mut stack = vec![Vec::with_capacity(d)];
+    // Enumerate compositions of `resolution` into d parts (simplex grid).
+    while let Some(prefix) = stack.pop() {
+        if prefix.len() == d - 1 {
+            let used: usize = prefix.iter().sum();
+            if used <= resolution {
+                let mut w: Vec<f64> = prefix
+                    .iter()
+                    .map(|&k: &usize| k as f64 / resolution as f64)
+                    .collect();
+                w.push((resolution - used) as f64 / resolution as f64);
+                let r = rank_of(objects, &w, target);
+                if r < best.rank {
+                    best = MaxRankResult { rank: r, weights: w };
+                }
+            }
+            continue;
+        }
+        let used: usize = prefix.iter().sum();
+        for k in 0..=(resolution - used) {
+            let mut next = prefix.clone();
+            next.push(k);
+            stack.push(next);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    #[test]
+    fn skyline_object_can_reach_rank_one() {
+        // Each skyline object wins for some weight: the extremes at the
+        // interval ends, the (strictly inside the hull's lower boundary)
+        // balanced object in the middle.
+        let objects = vec![vec![0.9, 0.1], vec![0.1, 0.9], vec![0.45, 0.45]];
+        let r = max_rank_2d(&objects, 0);
+        assert_eq!(r.rank, 1);
+        let r = max_rank_2d(&objects, 1);
+        assert_eq!(r.rank, 1);
+        let r = max_rank_2d(&objects, 2);
+        assert_eq!(r.rank, 1);
+    }
+
+    #[test]
+    fn dominated_object_never_first() {
+        // Object 2 is dominated by object 0: its best possible rank is 2.
+        let objects = vec![vec![0.2, 0.2], vec![0.9, 0.05], vec![0.4, 0.4]];
+        let r = max_rank_2d(&objects, 2);
+        // Dominated by object 0 forever; beats object 1 once t > 0.41.
+        assert_eq!(r.rank, 2);
+        // Sanity: the returned weights actually realize the rank.
+        assert_eq!(rank_of(&objects, &r.weights, 2), r.rank);
+    }
+
+    #[test]
+    fn exact_beats_or_matches_dense_sampling() {
+        let mut rnd = lcg(17);
+        for trial in 0..10 {
+            let n = 10 + trial;
+            let objects: Vec<Vec<f64>> = (0..n).map(|_| vec![rnd(), rnd()]).collect();
+            for target in [0usize, n / 2, n - 1] {
+                let exact = max_rank_2d(&objects, target);
+                assert_eq!(
+                    rank_of(&objects, &exact.weights, target),
+                    exact.rank,
+                    "witness weights inconsistent"
+                );
+                let sampled = max_rank_sampled(&objects, target, 400);
+                assert!(
+                    exact.rank <= sampled.rank,
+                    "trial {trial}, target {target}: exact {} worse than sampled {}",
+                    exact.rank,
+                    sampled.rank
+                );
+                // A dense 1-D grid should usually find the same optimum.
+                assert!(
+                    sampled.rank <= exact.rank + 1,
+                    "sampling unexpectedly far off: {} vs {}",
+                    sampled.rank,
+                    exact.rank
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_works_in_higher_dimensions() {
+        let mut rnd = lcg(23);
+        let objects: Vec<Vec<f64>> = (0..30).map(|_| vec![rnd(), rnd(), rnd()]).collect();
+        for target in [0usize, 15, 29] {
+            let r = max_rank_sampled(&objects, target, 12);
+            assert!(r.rank >= 1 && r.rank <= 30);
+            assert_eq!(rank_of(&objects, &r.weights, target), r.rank);
+            let sum: f64 = r.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_object_is_always_first() {
+        let objects = vec![vec![0.3, 0.7]];
+        assert_eq!(max_rank_2d(&objects, 0).rank, 1);
+        assert_eq!(max_rank_sampled(&objects, 0, 4).rank, 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Naive top-k evaluation — the correctness oracle every other scheme in
+//! this crate (and the ESE machinery in `iq-core`) is tested against.
+//!
+//! Ranking convention (fixed across the whole workspace, from Eq. 6 of the
+//! paper): **lower score is better**, ties broken by smaller object id, so
+//! every ranking is a total order.
+
+/// A top-k query: a weight vector and a result size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKQuery {
+    /// Per-attribute weights (the query point in function-domain space).
+    pub weights: Vec<f64>,
+    /// Number of objects to return.
+    pub k: usize,
+}
+
+impl TopKQuery {
+    /// Creates a query.
+    pub fn new(weights: Vec<f64>, k: usize) -> Self {
+        assert!(k > 0, "top-k query requires k ≥ 1");
+        TopKQuery { weights, k }
+    }
+}
+
+/// The linear score of an object under a weight vector.
+#[inline]
+pub fn score(object: &[f64], weights: &[f64]) -> f64 {
+    iq_geometry::vector::dot(object, weights)
+}
+
+/// Compares two objects under a query: score ascending, id ascending.
+#[inline]
+pub fn rank_cmp(a_score: f64, a_id: usize, b_score: f64, b_id: usize) -> std::cmp::Ordering {
+    a_score
+        .partial_cmp(&b_score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a_id.cmp(&b_id))
+}
+
+/// The ids of the `k` best objects for the query, best first.
+///
+/// Runs one pass with a bounded max-heap: `O(n log k)`.
+pub fn top_k(objects: &[Vec<f64>], weights: &[f64], k: usize) -> Vec<usize> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    // Max-heap of (score, id) keeping the k best (smallest) seen so far.
+    #[derive(PartialEq)]
+    struct Worst(f64, usize);
+    impl Eq for Worst {}
+    impl PartialOrd for Worst {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Worst {
+        fn cmp(&self, other: &Self) -> Ordering {
+            rank_cmp(self.0, self.1, other.0, other.1)
+        }
+    }
+
+    let k = k.min(objects.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    for (i, o) in objects.iter().enumerate() {
+        let s = score(o, weights);
+        if heap.len() < k {
+            heap.push(Worst(s, i));
+        } else if let Some(top) = heap.peek() {
+            if rank_cmp(s, i, top.0, top.1) == Ordering::Less {
+                heap.pop();
+                heap.push(Worst(s, i));
+            }
+        }
+    }
+    let mut out: Vec<(f64, usize)> = heap.into_iter().map(|w| (w.0, w.1)).collect();
+    out.sort_by(|a, b| rank_cmp(a.0, a.1, b.0, b.1));
+    out.into_iter().map(|(_, i)| i).collect()
+}
+
+/// The full ranking of all objects for the query (best first).
+pub fn full_ranking(objects: &[Vec<f64>], weights: &[f64]) -> Vec<usize> {
+    let mut scored: Vec<(f64, usize)> = objects
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (score(o, weights), i))
+        .collect();
+    scored.sort_by(|a, b| rank_cmp(a.0, a.1, b.0, b.1));
+    scored.into_iter().map(|(_, i)| i).collect()
+}
+
+/// The 1-based rank of `target` under the query.
+pub fn rank_of(objects: &[Vec<f64>], weights: &[f64], target: usize) -> usize {
+    let ts = score(&objects[target], weights);
+    1 + objects
+        .iter()
+        .enumerate()
+        .filter(|&(i, o)| {
+            i != target
+                && rank_cmp(score(o, weights), i, ts, target) == std::cmp::Ordering::Less
+        })
+        .count()
+}
+
+/// Whether `target` is in the query's top-k.
+pub fn hits(objects: &[Vec<f64>], query: &TopKQuery, target: usize) -> bool {
+    rank_of(objects, &query.weights, target) <= query.k
+}
+
+/// The score of the `k`-th best object **excluding** `exclude` — the
+/// admission threshold an improved target must beat (cf. Eq. 6). Returns
+/// `(object id, score)`, or `None` when fewer than `k` other objects exist.
+pub fn kth_best_excluding(
+    objects: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    exclude: usize,
+) -> Option<(usize, f64)> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+    let excluded = if exclude < objects.len() { 1 } else { 0 };
+    if objects.len() < k + excluded {
+        return None;
+    }
+    // Bounded max-heap of the k best: O(n log k), no full sort.
+    #[derive(PartialEq)]
+    struct Worst(f64, usize);
+    impl Eq for Worst {}
+    impl PartialOrd for Worst {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Worst {
+        fn cmp(&self, other: &Self) -> Ordering {
+            rank_cmp(self.0, self.1, other.0, other.1)
+        }
+    }
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    for (i, o) in objects.iter().enumerate() {
+        if i == exclude {
+            continue;
+        }
+        let s = score(o, weights);
+        if heap.len() < k {
+            heap.push(Worst(s, i));
+        } else if let Some(top) = heap.peek() {
+            if rank_cmp(s, i, top.0, top.1) == Ordering::Less {
+                heap.pop();
+                heap.push(Worst(s, i));
+            }
+        }
+    }
+    heap.peek().map(|w| (w.1, w.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objs() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 5.0], // id 0
+            vec![2.0, 2.0], // id 1
+            vec![5.0, 1.0], // id 2
+            vec![3.0, 3.0], // id 3
+        ]
+    }
+
+    #[test]
+    fn top_k_basic() {
+        // weights (1, 0): scores 1, 2, 5, 3 → top-2 = [0, 1].
+        assert_eq!(top_k(&objs(), &[1.0, 0.0], 2), vec![0, 1]);
+        // weights (0, 1): scores 5, 2, 1, 3 → top-2 = [2, 1].
+        assert_eq!(top_k(&objs(), &[0.0, 1.0], 2), vec![2, 1]);
+    }
+
+    #[test]
+    fn top_k_matches_full_ranking() {
+        let o = objs();
+        for w in [[0.3, 0.7], [0.9, 0.1], [0.5, 0.5]] {
+            let full = full_ranking(&o, &w);
+            for k in 1..=o.len() {
+                assert_eq!(top_k(&o, &w, k), full[..k].to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        assert_eq!(top_k(&objs(), &[1.0, 1.0], 10).len(), 4);
+    }
+
+    #[test]
+    fn tie_broken_by_id() {
+        let o = vec![vec![1.0], vec![1.0], vec![0.5]];
+        assert_eq!(top_k(&o, &[1.0], 3), vec![2, 0, 1]);
+        assert_eq!(rank_of(&o, &[1.0], 1), 3);
+        assert_eq!(rank_of(&o, &[1.0], 0), 2);
+    }
+
+    #[test]
+    fn rank_and_hits() {
+        let o = objs();
+        let w = [1.0, 0.0];
+        assert_eq!(rank_of(&o, &w, 0), 1);
+        assert_eq!(rank_of(&o, &w, 2), 4);
+        assert!(hits(&o, &TopKQuery::new(w.to_vec(), 1), 0));
+        assert!(!hits(&o, &TopKQuery::new(w.to_vec(), 3), 2));
+    }
+
+    #[test]
+    fn kth_best_excluding_target() {
+        let o = objs();
+        let w = [1.0, 0.0];
+        // Excluding object 0: scores 2, 5, 3 → 1st best is id 1 (score 2).
+        assert_eq!(kth_best_excluding(&o, &w, 1, 0), Some((1, 2.0)));
+        // 3rd best excluding 0 is id 2 (score 5).
+        assert_eq!(kth_best_excluding(&o, &w, 3, 0), Some((2, 5.0)));
+        // k = 4 excluding one object: only 3 remain.
+        assert_eq!(kth_best_excluding(&o, &w, 4, 0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_query_rejected() {
+        let _ = TopKQuery::new(vec![1.0], 0);
+    }
+}

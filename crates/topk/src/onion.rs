@@ -1,0 +1,138 @@
+//! The Onion top-k index (Chang et al., SIGMOD 2000) for two-dimensional
+//! data — the layer-based related-work technique of §2: data points are
+//! peeled into convex layers, and because the optimum of a linear utility
+//! over any point set lies on its convex hull, the `i`-th ranked object is
+//! guaranteed to appear within the first `i` layers. A top-k query
+//! therefore evaluates only the objects of the outermost `k` layers.
+
+use crate::naive::rank_cmp;
+use iq_geometry::hull::onion_layers;
+
+/// Convex-layer index over a 2-D dataset.
+#[derive(Debug, Clone)]
+pub struct OnionIndex {
+    layers: Vec<Vec<usize>>,
+    num_objects: usize,
+}
+
+impl OnionIndex {
+    /// Builds the index.
+    ///
+    /// # Panics
+    /// Panics unless every object is 2-dimensional (the onion construction
+    /// here relies on the planar convex hull; higher dimensions fall back to
+    /// the other schemes in this crate).
+    pub fn build(objects: &[Vec<f64>]) -> Self {
+        assert!(
+            objects.iter().all(|o| o.len() == 2),
+            "OnionIndex supports 2-dimensional objects only"
+        );
+        let pts: Vec<(f64, f64)> = objects.iter().map(|o| (o[0], o[1])).collect();
+        OnionIndex { layers: onion_layers(&pts), num_objects: objects.len() }
+    }
+
+    /// Number of convex layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.num_objects
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.num_objects == 0
+    }
+
+    /// Rough in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.num_objects * 8 + self.layers.len() * 24
+    }
+
+    /// Evaluates a top-k query by scoring only the first `k` layers.
+    pub fn top_k(&self, objects: &[Vec<f64>], weights: &[f64], k: usize) -> Vec<usize> {
+        let k = k.min(self.num_objects);
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut candidates: Vec<(f64, usize)> = Vec::new();
+        for layer in self.layers.iter().take(k) {
+            for &i in layer {
+                candidates.push((iq_geometry::vector::dot(&objects[i], weights), i));
+            }
+        }
+        candidates.sort_by(|a, b| rank_cmp(a.0, a.1, b.0, b.1));
+        candidates.truncate(k);
+        candidates.into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_data() {
+        let mut rnd = lcg(11);
+        let objects: Vec<Vec<f64>> = (0..300).map(|_| vec![rnd(), rnd()]).collect();
+        let idx = OnionIndex::build(&objects);
+        assert!(idx.num_layers() > 1);
+        for trial in 0..20 {
+            // Weights may be negative: the hull bound holds for any linear
+            // utility, not just positive quadrant ones.
+            let w = vec![rnd() * 2.0 - 1.0, rnd() * 2.0 - 1.0];
+            for k in [1usize, 2, 5, 10] {
+                assert_eq!(
+                    idx.top_k(&objects, &w, k),
+                    naive::top_k(&objects, &w, k),
+                    "trial {trial} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluates_fewer_objects_than_naive() {
+        let mut rnd = lcg(3);
+        let objects: Vec<Vec<f64>> = (0..500).map(|_| vec![rnd(), rnd()]).collect();
+        let idx = OnionIndex::build(&objects);
+        let scanned: usize = idx.layers.iter().take(3).map(Vec::len).sum();
+        assert!(
+            scanned < objects.len() / 3,
+            "top-3 should touch a fraction of the data, touched {scanned}"
+        );
+    }
+
+    #[test]
+    fn k_exceeds_layers() {
+        let objects = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let idx = OnionIndex::build(&objects);
+        assert_eq!(idx.top_k(&objects, &[1.0, 1.0], 10).len(), 3);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let idx = OnionIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.top_k(&[], &[1.0, 1.0], 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_planar_rejected() {
+        let _ = OnionIndex::build(&[vec![1.0, 2.0, 3.0]]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Simulated stand-ins for the paper's two real-world datasets (§6.2).
+//!
+//! The originals are not redistributable inputs of this reproduction, so
+//! we synthesize tables with the same schema, size, and — crucially — the
+//! same *correlation structure*, which is what distinguishes them from the
+//! IN/CO/AC synthetics (see DESIGN.md, substitution table):
+//!
+//! * **VEHICLE** — fueleconomy.gov, 37,051 vehicle models: year, weight,
+//!   horsepower, MPG, annual fuel cost. Heavier cars have more horsepower
+//!   and worse MPG; worse MPG means higher annual cost; newer cars do
+//!   slightly better.
+//! * **HOUSE** — IPUMS extract, 100,000 household records: house value,
+//!   household income, persons, monthly mortgage. Value, income and
+//!   mortgage are strongly positively correlated.
+//!
+//! All attributes are normalized to `[0, 1]` exactly as the paper does.
+
+use rand::Rng;
+
+/// A simulated real-world table: normalized rows plus schema metadata.
+#[derive(Debug, Clone)]
+pub struct RealDataset {
+    /// Dataset name ("VEHICLE" or "HOUSE").
+    pub name: &'static str,
+    /// Attribute names, in column order.
+    pub attributes: Vec<&'static str>,
+    /// Rows, each attribute normalized to `[0, 1]`.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl RealDataset {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.attributes.len()
+    }
+}
+
+/// The paper's VEHICLE size.
+pub const VEHICLE_ROWS: usize = 37_051;
+/// The paper's HOUSE size.
+pub const HOUSE_ROWS: usize = 100_000;
+
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn normalize_columns(rows: &mut [Vec<f64>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let d = rows[0].len();
+    for j in 0..d {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for r in rows.iter() {
+            lo = lo.min(r[j]);
+            hi = hi.max(r[j]);
+        }
+        let span = (hi - lo).max(1e-12);
+        for r in rows.iter_mut() {
+            r[j] = (r[j] - lo) / span;
+        }
+    }
+}
+
+/// Simulated VEHICLE at its paper size. Prefer [`vehicle_scaled`] for
+/// tests and scaled-down experiments.
+pub fn vehicle<R: Rng>(rng: &mut R) -> RealDataset {
+    vehicle_scaled(VEHICLE_ROWS, rng)
+}
+
+/// Simulated VEHICLE with `n` rows.
+pub fn vehicle_scaled<R: Rng>(n: usize, rng: &mut R) -> RealDataset {
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Latent "size class" drives weight/horsepower/MPG jointly.
+        let size = rng.gen::<f64>(); // 0 = compact, 1 = heavy truck
+        let year = 1990.0 + rng.gen::<f64>() * 27.0; // model years 1990–2016
+        let weight = 1800.0 + size * 3200.0 + normal(rng) * 220.0; // lbs
+        let horsepower = 80.0 + size * 320.0 + normal(rng) * 40.0;
+        // MPG drops with weight, improves with model year.
+        let mpg = (52.0 - size * 30.0 + (year - 1990.0) * 0.35 + normal(rng) * 3.0).max(8.0);
+        // Annual fuel cost inversely tied to MPG (fixed miles / price).
+        let annual_cost = 18_000.0 / mpg * 2.5 + normal(rng) * 60.0;
+        rows.push(vec![year, weight, horsepower, mpg, annual_cost]);
+    }
+    normalize_columns(&mut rows);
+    RealDataset {
+        name: "VEHICLE",
+        attributes: vec!["year", "weight", "horsepower", "mpg", "annual_cost"],
+        rows,
+    }
+}
+
+/// Simulated HOUSE at its paper size. Prefer [`house_scaled`] for tests
+/// and scaled-down experiments.
+pub fn house<R: Rng>(rng: &mut R) -> RealDataset {
+    house_scaled(HOUSE_ROWS, rng)
+}
+
+/// Simulated HOUSE with `n` rows.
+pub fn house_scaled<R: Rng>(n: usize, rng: &mut R) -> RealDataset {
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Log-normal income drives value and mortgage.
+        let log_income = 10.6 + normal(rng) * 0.55; // median ≈ $40k
+        let income = log_income.exp();
+        let value = income * (3.0 + normal(rng).abs() * 1.5) + normal(rng) * 15_000.0;
+        let mortgage = (value * 0.004 + normal(rng) * 120.0).max(0.0); // monthly
+        let persons = (1.0 + rng.gen::<f64>() * 5.0 + normal(rng) * 0.8).clamp(1.0, 12.0);
+        rows.push(vec![value.max(10_000.0), income.max(5_000.0), persons, mortgage]);
+    }
+    normalize_columns(&mut rows);
+    RealDataset {
+        name: "HOUSE",
+        attributes: vec!["house_value", "household_income", "persons", "monthly_mortgage"],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::correlation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vehicle_schema_and_normalization() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ds = vehicle_scaled(5000, &mut rng);
+        assert_eq!(ds.name, "VEHICLE");
+        assert_eq!(ds.dim(), 5);
+        assert_eq!(ds.len(), 5000);
+        for r in &ds.rows {
+            for &v in r {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn vehicle_correlation_structure() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = vehicle_scaled(8000, &mut rng);
+        // weight (1) vs horsepower (2): strongly positive.
+        assert!(correlation(&ds.rows, 1, 2) > 0.5);
+        // weight (1) vs mpg (3): strongly negative.
+        assert!(correlation(&ds.rows, 1, 3) < -0.5);
+        // mpg (3) vs annual cost (4): strongly negative.
+        assert!(correlation(&ds.rows, 3, 4) < -0.5);
+    }
+
+    #[test]
+    fn house_schema_and_correlations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = house_scaled(8000, &mut rng);
+        assert_eq!(ds.name, "HOUSE");
+        assert_eq!(ds.dim(), 4);
+        // value (0) vs income (1) and value (0) vs mortgage (3): positive.
+        assert!(correlation(&ds.rows, 0, 1) > 0.3);
+        assert!(correlation(&ds.rows, 0, 3) > 0.5);
+        for r in &ds.rows {
+            for &v in r {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sizes_constants() {
+        assert_eq!(VEHICLE_ROWS, 37_051);
+        assert_eq!(HOUSE_ROWS, 100_000);
+    }
+}

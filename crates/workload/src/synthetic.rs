@@ -1,0 +1,166 @@
+//! Synthetic object datasets (§6.2): Independent (IN), Correlated (CO),
+//! and Anti-correlated (AC), generated with the method of Börzsönyi et al.
+//! ("The Skyline Operator", ICDE 2001). Every generated attribute lies in
+//! `[0, 1]`; the paper uses 10 attributes per object with experiments
+//! running on 1–5 of them.
+
+use rand::Rng;
+
+/// The three synthetic distributions of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// All attributes independent and uniform.
+    Independent,
+    /// Attributes positively correlated (good objects good everywhere).
+    Correlated,
+    /// Attributes anti-correlated (good in one dimension, bad in others).
+    AntiCorrelated,
+}
+
+impl Distribution {
+    /// Short label matching the paper's dataset names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Distribution::Independent => "IN",
+            Distribution::Correlated => "CO",
+            Distribution::AntiCorrelated => "AC",
+        }
+    }
+}
+
+/// Generates `n` objects with `d` attributes in `[0, 1]` under the given
+/// distribution.
+pub fn generate<R: Rng>(dist: Distribution, n: usize, d: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    (0..n).map(|_| generate_one(dist, d, rng)).collect()
+}
+
+fn generate_one<R: Rng>(dist: Distribution, d: usize, rng: &mut R) -> Vec<f64> {
+    match dist {
+        Distribution::Independent => (0..d).map(|_| rng.gen::<f64>()).collect(),
+        Distribution::Correlated => {
+            // A shared latent level with small independent perturbations:
+            // points concentrate along the main diagonal.
+            let level = peaked(rng);
+            (0..d)
+                .map(|_| (level + normal(rng) * 0.06).clamp(0.0, 1.0))
+                .collect()
+        }
+        Distribution::AntiCorrelated => {
+            // Points concentrate near the plane Σxᵢ = d/2: raise one
+            // attribute and the others must drop.
+            let total = (0.5 + normal(rng) * 0.05) * d as f64;
+            let mut raw: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+            let sum: f64 = raw.iter().sum();
+            if sum > 0.0 {
+                let scale = total / sum;
+                for v in &mut raw {
+                    *v = (*v * scale).clamp(0.0, 1.0);
+                }
+            }
+            raw
+        }
+    }
+}
+
+/// A value in `[0, 1]` peaked around 0.5 (sum of two uniforms).
+fn peaked<R: Rng>(rng: &mut R) -> f64 {
+    0.5 * (rng.gen::<f64>() + rng.gen::<f64>())
+}
+
+/// A standard-normal sample (Box–Muller).
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample Pearson correlation between two attribute columns, used by the
+/// generator tests and the dataset documentation.
+pub fn correlation(objects: &[Vec<f64>], i: usize, j: usize) -> f64 {
+    let n = objects.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mean = |k: usize| objects.iter().map(|o| o[k]).sum::<f64>() / n;
+    let (mi, mj) = (mean(i), mean(j));
+    let mut cov = 0.0;
+    let mut vi = 0.0;
+    let mut vj = 0.0;
+    for o in objects {
+        cov += (o[i] - mi) * (o[j] - mj);
+        vi += (o[i] - mi).powi(2);
+        vj += (o[j] - mj).powi(2);
+    }
+    if vi <= 0.0 || vj <= 0.0 {
+        0.0
+    } else {
+        cov / (vi.sqrt() * vj.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(dist: Distribution) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(7);
+        generate(dist, 3000, 4, &mut rng)
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ] {
+            let data = gen(dist);
+            assert_eq!(data.len(), 3000);
+            for o in &data {
+                assert_eq!(o.len(), 4);
+                for &v in o {
+                    assert!((0.0..=1.0).contains(&v), "{dist:?}: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn independent_uncorrelated() {
+        let data = gen(Distribution::Independent);
+        let c = correlation(&data, 0, 1);
+        assert!(c.abs() < 0.1, "IN correlation too strong: {c}");
+    }
+
+    #[test]
+    fn correlated_strongly_positive() {
+        let data = gen(Distribution::Correlated);
+        let c = correlation(&data, 0, 1);
+        assert!(c > 0.6, "CO correlation too weak: {c}");
+    }
+
+    #[test]
+    fn anticorrelated_negative() {
+        let data = gen(Distribution::AntiCorrelated);
+        let c = correlation(&data, 0, 1);
+        assert!(c < -0.15, "AC correlation not negative enough: {c}");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Distribution::Independent.label(), "IN");
+        assert_eq!(Distribution::Correlated.label(), "CO");
+        assert_eq!(Distribution::AntiCorrelated.label(), "AC");
+    }
+
+    #[test]
+    fn correlation_degenerate_inputs() {
+        assert_eq!(correlation(&[], 0, 0), 0.0);
+        assert_eq!(correlation(&[vec![1.0, 1.0]], 0, 1), 0.0);
+        // Constant column → zero correlation by convention.
+        let c = correlation(&[vec![0.5, 0.1], vec![0.5, 0.9]], 0, 1);
+        assert_eq!(c, 0.0);
+    }
+}

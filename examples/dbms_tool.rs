@@ -1,0 +1,50 @@
+//! The analytic tool as a DBMS session (§6.1): load a car table and a
+//! preference table with SQL, select targets "via an SQL select
+//! statement", and run `IMPROVE` — the textual counterpart of the paper's
+//! GUI in Figure 3.
+//!
+//! Run with `cargo run --example dbms_tool`.
+
+use improvement_queries::prelude::*;
+
+fn main() {
+    let mut session = Session::new();
+    let mut run = |sql: &str| {
+        println!("sql> {sql}");
+        match session.execute(sql) {
+            Ok(Outcome::Rows(r)) => println!("{}", r.to_ascii()),
+            Ok(other) => println!("ok: {other:?}\n"),
+            Err(e) => println!("error: {e}\n"),
+        }
+    };
+
+    // Car inventory: normalized deficit attributes, lower = better.
+    run("CREATE TABLE cars (id INT, price FLOAT, fuel FLOAT, age FLOAT, model TEXT)");
+    run("INSERT INTO cars VALUES \
+         (1, 0.80, 0.70, 0.60, 'Komet'), \
+         (2, 0.30, 0.40, 0.20, 'Aster'), \
+         (3, 0.50, 0.20, 0.80, 'Boreal'), \
+         (4, 0.20, 0.90, 0.40, 'Cirrus'), \
+         (5, 0.60, 0.50, 0.50, 'Dune')");
+
+    // Shopper preferences: weight columns w1..w3 (price, fuel, age) + k.
+    run("CREATE TABLE prefs (w1 FLOAT, w2 FLOAT, w3 FLOAT, k INT)");
+    run("INSERT INTO prefs VALUES \
+         (0.7, 0.2, 0.1, 1), (0.5, 0.3, 0.2, 2), (0.2, 0.6, 0.2, 1), \
+         (0.1, 0.8, 0.1, 1), (0.4, 0.4, 0.2, 2), (0.3, 0.3, 0.4, 1), \
+         (0.6, 0.2, 0.2, 1), (0.2, 0.2, 0.6, 2)");
+
+    // Where do we stand? Ordinary SQL works:
+    run("SELECT id, model, price FROM cars WHERE price > 0.5 ORDER BY price DESC");
+
+    // Improve the 'Komet' to reach 4 shopper shortlists, at minimum cost,
+    // without touching its age (it is what it is), then persist.
+    run("IMPROVE cars USING prefs WHERE model = 'Komet' MINCOST 4 FREEZE age APPLY");
+
+    // The table now holds the improved car:
+    run("SELECT id, model, price, fuel, age FROM cars WHERE id = 1");
+
+    // Fleet play: improve every car priced above 0.4 under one budget
+    // (combinatorial Max-Hit across three targets), L1 cost this time.
+    run("IMPROVE cars USING prefs WHERE price > 0.4 MAXHIT 0.6 COST L1");
+}

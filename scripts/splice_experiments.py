@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Splice the `figures` binary's output into EXPERIMENTS.md placeholders.
+
+Usage: python3 scripts/splice_experiments.py figures_output.txt EXPERIMENTS.md
+"""
+import re
+import sys
+
+
+def main() -> None:
+    fig_path, md_path = sys.argv[1], sys.argv[2]
+    text = open(fig_path).read()
+
+    # Split into the settings header and per-figure blocks.
+    blocks: dict[str, str] = {}
+    settings_match = re.search(r"(Table 2.*?)(?:\n\n|\Z)", text, re.S)
+    if settings_match:
+        blocks["__SETTINGS__"] = settings_match.group(1).rstrip()
+    for m in re.finditer(r"== Figure (\d+):.*?(?=\n== |\Z)", text, re.S):
+        blocks[f"__FIG{m.group(1)}__"] = m.group(0).rstrip()
+
+    md = open(md_path).read()
+    for key, value in blocks.items():
+        md = md.replace(key, value)
+    leftovers = re.findall(r"__(?:FIG\d+|SETTINGS)__", md)
+    open(md_path, "w").write(md)
+    if leftovers:
+        print(f"WARNING: unfilled placeholders: {leftovers}")
+    else:
+        print("EXPERIMENTS.md fully populated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+//! An interactive SQL shell over the `iq-dbms` engine — the command-line
+//! face of the paper's analytic tool (its Figure 3 GUI, minus the pixels).
+//!
+//! ```text
+//! cargo run --release --bin iq-repl
+//! sql> CREATE TABLE cams (id INT, res FLOAT, price FLOAT);
+//! sql> INSERT INTO cams VALUES (1, 0.4, 0.9), (2, 0.7, 0.3);
+//! sql> CREATE TABLE prefs (w1 FLOAT, w2 FLOAT, k INT);
+//! sql> INSERT INTO prefs VALUES (0.6, 0.4, 1), (0.3, 0.7, 1);
+//! sql> IMPROVE cams USING prefs WHERE id = 1 MINCOST 2 APPLY;
+//! sql> \q
+//! ```
+//!
+//! Meta commands: `\d` lists tables, `\d <table>` shows a schema, `\q`
+//! quits. Statements may span lines; `;` submits.
+
+use improvement_queries::dbms::{Outcome, Session};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut session = Session::new();
+    let mut buffer = String::new();
+    let interactive = std::env::args().all(|a| a != "--quiet");
+
+    if interactive {
+        println!("improvement-queries SQL shell — \\d lists tables, \\q quits.");
+    }
+    loop {
+        if interactive {
+            print!("{}", if buffer.is_empty() { "sql> " } else { "...> " });
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "\\q" | "exit" | "quit" => break,
+                "\\d" => {
+                    for name in session.table_names() {
+                        let rows = session.table(name).map_or(0, |t| t.len());
+                        println!("{name} ({rows} rows)");
+                    }
+                    continue;
+                }
+                t if t.starts_with("\\d ") => {
+                    let name = t[3..].trim();
+                    match session.table(name) {
+                        Some(table) => {
+                            for c in table.schema.columns() {
+                                println!("{} {}", c.name, c.ty);
+                            }
+                        }
+                        None => println!("no such table `{name}`"),
+                    }
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        match session.execute(sql.trim()) {
+            Ok(Outcome::Rows(r)) => println!("{}", r.to_ascii()),
+            Ok(Outcome::Created(name)) => println!("created table {name}"),
+            Ok(Outcome::Inserted(n)) => println!("inserted {n} row(s)"),
+            Ok(Outcome::Copied(n)) => println!("copied {n} row(s)"),
+            Ok(Outcome::Updated(n)) => println!("updated {n} row(s)"),
+            Ok(Outcome::Deleted(n)) => println!("deleted {n} row(s)"),
+            Ok(Outcome::Dropped(name)) => println!("dropped table {name}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

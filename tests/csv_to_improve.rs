@@ -1,0 +1,88 @@
+//! The full adoption path: a CSV product catalogue and a CSV preference
+//! dump are COPY-ed into the engine, inspected with aggregates, and then
+//! improved — the workflow a real user of the analytic tool would run.
+
+use improvement_queries::dbms::{Outcome, Session, Value};
+
+fn write_fixtures(dir: &std::path::Path) -> (String, String) {
+    std::fs::create_dir_all(dir).unwrap();
+    let cars = dir.join("cars.csv");
+    std::fs::write(
+        &cars,
+        "id,price,fuel,age,model\n\
+         1,0.80,0.70,0.60,\"Komet, Mk II\"\n\
+         2,0.30,0.40,0.20,Aster\n\
+         3,0.50,0.20,0.80,Boreal\n\
+         4,0.20,0.90,0.40,Cirrus\n\
+         5,0.60,0.50,0.50,Dune\n",
+    )
+    .unwrap();
+    let prefs = dir.join("prefs.csv");
+    std::fs::write(
+        &prefs,
+        "w1,w2,w3,k\n\
+         0.7,0.2,0.1,1\n\
+         0.5,0.3,0.2,2\n\
+         0.2,0.6,0.2,1\n\
+         0.1,0.8,0.1,1\n\
+         0.4,0.4,0.2,2\n\
+         0.3,0.3,0.4,1\n",
+    )
+    .unwrap();
+    (
+        cars.display().to_string(),
+        prefs.display().to_string(),
+    )
+}
+
+#[test]
+fn copy_inspect_improve_roundtrip() {
+    let dir = std::env::temp_dir().join("iq_csv_to_improve");
+    let (cars_path, prefs_path) = write_fixtures(&dir);
+
+    let mut s = Session::new();
+    assert_eq!(
+        s.execute(&format!("COPY cars FROM '{cars_path}'")).unwrap(),
+        Outcome::Copied(5)
+    );
+    assert_eq!(
+        s.execute(&format!("COPY prefs FROM '{prefs_path}'")).unwrap(),
+        Outcome::Copied(6)
+    );
+
+    // Quoted CSV fields (commas inside quotes) survive the trip.
+    match s.execute("SELECT model FROM cars WHERE id = 1").unwrap() {
+        Outcome::Rows(r) => assert_eq!(r.rows[0][0], Value::Text("Komet, Mk II".into())),
+        other => panic!("{other:?}"),
+    }
+
+    // Aggregate-level market inspection.
+    match s.execute("SELECT COUNT(*), AVG(price) FROM cars WHERE price > 0.4").unwrap() {
+        Outcome::Rows(r) => {
+            assert_eq!(r.rows[0][0], Value::Int(3));
+            let avg = r.rows[0][1].as_f64().unwrap();
+            assert!((avg - (0.8 + 0.5 + 0.6) / 3.0).abs() < 1e-9);
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // Improve the overpriced Komet to reach 4 shoppers and persist.
+    match s
+        .execute("IMPROVE cars USING prefs WHERE id = 1 MINCOST 4 APPLY")
+        .unwrap()
+    {
+        Outcome::Rows(r) => {
+            let ha = r.columns.iter().position(|c| c == "hits_after").unwrap();
+            assert!(matches!(r.rows[0][ha], Value::Int(h) if h >= 4));
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // The improvement is visible to ordinary SQL afterwards.
+    match s.execute("SELECT price FROM cars WHERE id = 1").unwrap() {
+        Outcome::Rows(r) => {
+            assert!(r.rows[0][0].as_f64().unwrap() < 0.8, "price did not improve");
+        }
+        other => panic!("{other:?}"),
+    }
+}
