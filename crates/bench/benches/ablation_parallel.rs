@@ -1,0 +1,67 @@
+//! Ablation: deterministic parallel candidate scoring vs thread count.
+//!
+//! Runs the Figure 7 workload (Efficient-IQ Min-Cost on the Independent
+//! synthetic dataset) with the `iq_core::exec` thread pool pinned to 1, 2,
+//! 4, and 8 workers. The search returns a byte-identical `IqReport` at
+//! every thread count (asserted here, property-tested in
+//! `crates/core/tests/proptests.rs`); only wall-clock time may change.
+//! Measured numbers live in EXPERIMENTS.md next to `ablation_ese` —
+//! speedups only materialise on multi-core hosts, so the recorded
+//! environment matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iq_bench::harness::{build_instance, run_one_min_cost, Scheme};
+use iq_core::{ExecPolicy, QueryIndex, SearchOptions};
+use iq_workload::{Distribution, QueryDistribution};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(10);
+    for &(n, m) in &[(600usize, 120usize), (2000, 400)] {
+        let inst = build_instance(
+            Distribution::Independent,
+            QueryDistribution::Uniform,
+            n,
+            m,
+            3,
+            6,
+            7,
+        );
+        let target = 0;
+        let tau = (inst.hit_count_naive(target) + 8).min(inst.num_queries());
+        let reference = {
+            let opts = SearchOptions {
+                candidate_cap: Some(32),
+                exec: ExecPolicy::sequential(),
+                ..SearchOptions::default()
+            };
+            let index = QueryIndex::build_with(&inst, &opts.exec);
+            run_one_min_cost(&inst, &index, Scheme::EfficientIq, target, tau, &opts, 70)
+        };
+        for threads in [1usize, 2, 4, 8] {
+            let opts = SearchOptions {
+                candidate_cap: Some(32),
+                exec: ExecPolicy::with_threads(threads),
+                ..SearchOptions::default()
+            };
+            let index = QueryIndex::build_with(&inst, &opts.exec);
+            let r = run_one_min_cost(&inst, &index, Scheme::EfficientIq, target, tau, &opts, 70);
+            assert_eq!(r.cost.to_bits(), reference.cost.to_bits());
+            assert_eq!(r.hits_after, reference.hits_after);
+            assert_eq!(r.candidates_evaluated, reference.candidates_evaluated);
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads={threads}"), format!("{n}x{m}")),
+                &(&inst, &index),
+                |b, (inst, index)| {
+                    b.iter(|| {
+                        run_one_min_cost(inst, index, Scheme::EfficientIq, target, tau, &opts, 70)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

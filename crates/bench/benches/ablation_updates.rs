@@ -25,18 +25,22 @@ fn bench_updates(c: &mut Criterion) {
         let index = QueryIndex::build(&inst);
         let label = format!("{n}x{m}");
         // Incremental: add one clustered query (kNN fast path likely).
-        group.bench_with_input(BenchmarkId::new("add_query_incremental", &label), &(), |b, _| {
-            b.iter_batched(
-                || (inst.clone(), index.clone()),
-                |(mut inst, mut index)| {
-                    let w = inst.queries()[0].weights.clone();
-                    let mut stats = UpdateStats::default();
-                    add_query(&mut inst, &mut index, TopKQuery::new(w, 3), &mut stats).unwrap();
-                    (inst, index)
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("add_query_incremental", &label),
+            &(),
+            |b, _| {
+                b.iter_batched(
+                    || (inst.clone(), index.clone()),
+                    |(mut inst, mut index)| {
+                        let w = inst.queries()[0].weights.clone();
+                        let mut stats = UpdateStats::default();
+                        add_query(&mut inst, &mut index, TopKQuery::new(w, 3), &mut stats).unwrap();
+                        (inst, index)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
         // The alternative: rebuild from scratch after the same insertion.
         group.bench_with_input(BenchmarkId::new("full_rebuild", &label), &(), |b, _| {
             b.iter_batched(

@@ -22,9 +22,11 @@ fn bench(c: &mut Criterion) {
             8,
             4,
         );
-        group.bench_with_input(BenchmarkId::new("efficient_iq_index", n), &inst, |b, inst| {
-            b.iter(|| QueryIndex::build(inst))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("efficient_iq_index", n),
+            &inst,
+            |b, inst| b.iter(|| QueryIndex::build(inst)),
+        );
         group.bench_with_input(BenchmarkId::new("dominant_graph", n), &inst, |b, inst| {
             b.iter(|| DominantGraph::build(inst.objects()))
         });

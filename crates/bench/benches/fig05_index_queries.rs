@@ -20,9 +20,11 @@ fn bench(c: &mut Criterion) {
             8,
             5,
         );
-        group.bench_with_input(BenchmarkId::new("efficient_iq_index", m), &inst, |b, inst| {
-            b.iter(|| QueryIndex::build(inst))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("efficient_iq_index", m),
+            &inst,
+            |b, inst| b.iter(|| QueryIndex::build(inst)),
+        );
         group.bench_with_input(BenchmarkId::new("rtree_only", m), &inst, |b, inst| {
             b.iter(|| {
                 let mut t = RTree::new(inst.dim());

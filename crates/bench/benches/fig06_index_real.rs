@@ -20,9 +20,11 @@ fn bench(c: &mut Criterion) {
     ];
     for (name, ds) in datasets {
         let inst = real_instance(&ds, QueryDistribution::Uniform, ds.len() / 3, 8, 66);
-        group.bench_with_input(BenchmarkId::new("efficient_iq_index", name), &inst, |b, inst| {
-            b.iter(|| QueryIndex::build(inst))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("efficient_iq_index", name),
+            &inst,
+            |b, inst| b.iter(|| QueryIndex::build(inst)),
+        );
         group.bench_with_input(BenchmarkId::new("rtree_only", name), &inst, |b, inst| {
             b.iter(|| {
                 let mut t = RTree::new(inst.dim());
@@ -32,9 +34,11 @@ fn bench(c: &mut Criterion) {
                 t
             })
         });
-        group.bench_with_input(BenchmarkId::new("dominant_graph", name), &inst, |b, inst| {
-            b.iter(|| DominantGraph::build(inst.objects()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dominant_graph", name),
+            &inst,
+            |b, inst| b.iter(|| DominantGraph::build(inst.objects())),
+        );
     }
     group.finish();
 }

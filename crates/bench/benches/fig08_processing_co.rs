@@ -10,7 +10,10 @@ use iq_workload::{Distribution, QueryDistribution};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig08_processing_co");
     group.sample_size(10);
-    let opts = SearchOptions { candidate_cap: Some(32), ..SearchOptions::default() };
+    let opts = SearchOptions {
+        candidate_cap: Some(32),
+        ..SearchOptions::default()
+    };
     for &n in &[300usize, 600] {
         let inst = build_instance(
             Distribution::Correlated,

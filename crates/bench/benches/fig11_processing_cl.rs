@@ -10,7 +10,10 @@ use iq_workload::{Distribution, QueryDistribution};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_processing_cl");
     group.sample_size(10);
-    let opts = SearchOptions { candidate_cap: Some(32), ..SearchOptions::default() };
+    let opts = SearchOptions {
+        candidate_cap: Some(32),
+        ..SearchOptions::default()
+    };
     for &m in &[100usize, 200] {
         let inst = build_instance(
             Distribution::Independent,

@@ -5,7 +5,12 @@
 //! cargo run --release -p iq-bench --bin figures            # everything
 //! cargo run --release -p iq-bench --bin figures fig7 fig13 # a subset
 //! IQ_SCALE=1 cargo run --release -p iq-bench --bin figures # paper scale
+//! cargo run --release -p iq-bench --bin figures -- --json out.json
 //! ```
+//!
+//! `--json PATH` additionally records every measured point as a flat
+//! `name`/`value`/`unit` series (see [`iq_bench::record`]) so CI can diff
+//! figure data across commits without scraping the printed tables.
 //!
 //! Figure ↔ experiment map (see DESIGN.md §6 and EXPERIMENTS.md):
 //! fig4  index time/size vs |D| (Efficient-IQ vs DominantGraph)
@@ -19,13 +24,23 @@
 use iq_bench::harness::{
     build_instance, measure_index_costs, measure_processing, print_settings, Scheme, Settings,
 };
+use iq_bench::record::Recorder;
 use iq_core::{Instance, SearchOptions};
 use iq_workload::{real, real_instance, Distribution, QueryDistribution};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rec = Recorder::disabled();
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if pos + 1 >= args.len() {
+            eprintln!("--json requires a file path");
+            std::process::exit(2);
+        }
+        rec = Recorder::to_path(args.remove(pos + 1));
+        args.remove(pos);
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -34,34 +49,47 @@ fn main() {
     println!();
 
     if want("fig4") {
-        fig4(&settings);
+        fig4(&settings, &mut rec);
     }
     if want("fig5") {
-        fig5(&settings);
+        fig5(&settings, &mut rec);
     }
     if want("fig6") {
-        fig6(&settings);
+        fig6(&settings, &mut rec);
     }
     if want("fig7") {
-        fig_processing_objects(&settings, Distribution::Independent, 7);
+        fig_processing_objects(&settings, Distribution::Independent, 7, &mut rec);
     }
     if want("fig8") {
-        fig_processing_objects(&settings, Distribution::Correlated, 8);
+        fig_processing_objects(&settings, Distribution::Correlated, 8, &mut rec);
     }
     if want("fig9") {
-        fig_processing_objects(&settings, Distribution::AntiCorrelated, 9);
+        fig_processing_objects(&settings, Distribution::AntiCorrelated, 9, &mut rec);
     }
     if want("fig10") {
-        fig_processing_queries(&settings, QueryDistribution::Uniform, 10);
+        fig_processing_queries(&settings, QueryDistribution::Uniform, 10, &mut rec);
     }
     if want("fig11") {
-        fig_processing_queries(&settings, QueryDistribution::Clustered, 11);
+        fig_processing_queries(&settings, QueryDistribution::Clustered, 11, &mut rec);
     }
     if want("fig12") {
-        fig12(&settings);
+        fig12(&settings, &mut rec);
     }
     if want("fig13") {
-        fig13(&settings);
+        fig13(&settings, &mut rec);
+    }
+
+    match rec.finish() {
+        Ok(Some(path)) => println!(
+            "wrote {} series entries to {}",
+            rec.entries().len(),
+            path.display()
+        ),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("failed to write --json output: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -69,10 +97,13 @@ fn main() {
 /// at scaled |Q| without changing any scheme's relative standing (see
 /// EXPERIMENTS.md, "methodology deviations").
 fn processing_opts() -> SearchOptions {
-    SearchOptions { candidate_cap: Some(64), ..SearchOptions::default() }
+    SearchOptions {
+        candidate_cap: Some(64),
+        ..SearchOptions::default()
+    }
 }
 
-fn fig4(s: &Settings) {
+fn fig4(s: &Settings, rec: &mut Recorder) {
     println!("== Figure 4: indexing cost vs number of objects (linear utilities) ==");
     println!(
         "{:>8} | {:>16} {:>16} | {:>14} {:>14}",
@@ -114,11 +145,23 @@ fn fig4(s: &Settings) {
             eff_s / k,
             dg_s / k
         );
+        rec.record(
+            format!("fig4/|D|={n}/Efficient-IQ/build_time"),
+            eff_t / k,
+            "s",
+        );
+        rec.record(
+            format!("fig4/|D|={n}/DominantGraph/build_time"),
+            dg_t / k,
+            "s",
+        );
+        rec.record(format!("fig4/|D|={n}/Efficient-IQ/size"), eff_s / k, "pct");
+        rec.record(format!("fig4/|D|={n}/DominantGraph/size"), dg_s / k, "pct");
     }
     println!();
 }
 
-fn fig5(s: &Settings) {
+fn fig5(s: &Settings, rec: &mut Recorder) {
     println!("== Figure 5: indexing cost vs number of queries (UN, non-linear allowed) ==");
     println!(
         "{:>8} | {:>16} {:>12} | {:>14} {:>14}",
@@ -139,6 +182,18 @@ fn fig5(s: &Settings) {
             "{:>8} | {:>16.3} {:>12.3} | {:>14.1} {:>14.1}",
             m, c.efficient_time, c.rtree_time, c.efficient_size_pct, c.rtree_size_pct
         );
+        rec.record(
+            format!("fig5/|Q|={m}/Efficient-IQ/build_time"),
+            c.efficient_time,
+            "s",
+        );
+        rec.record(format!("fig5/|Q|={m}/R-tree/build_time"), c.rtree_time, "s");
+        rec.record(
+            format!("fig5/|Q|={m}/Efficient-IQ/size"),
+            c.efficient_size_pct,
+            "pct",
+        );
+        rec.record(format!("fig5/|Q|={m}/R-tree/size"), c.rtree_size_pct, "pct");
     }
     println!();
 }
@@ -159,16 +214,28 @@ fn real_datasets(s: &Settings) -> Vec<(&'static str, Instance)> {
     vec![
         (
             "VEHICLE",
-            real_instance(&vehicle, QueryDistribution::Uniform, vehicle.len() / 3, s.k_max, 61),
+            real_instance(
+                &vehicle,
+                QueryDistribution::Uniform,
+                vehicle.len() / 3,
+                s.k_max,
+                61,
+            ),
         ),
         (
             "HOUSE",
-            real_instance(&house, QueryDistribution::Uniform, house.len() / 3, s.k_max, 62),
+            real_instance(
+                &house,
+                QueryDistribution::Uniform,
+                house.len() / 3,
+                s.k_max,
+                62,
+            ),
         ),
     ]
 }
 
-fn fig6(s: &Settings) {
+fn fig6(s: &Settings, rec: &mut Recorder) {
     println!("== Figure 6: indexing cost on the real-world datasets ==");
     println!(
         "{:>8} | {:>13} {:>10} {:>10} | {:>9} {:>9} {:>9}",
@@ -186,6 +253,28 @@ fn fig6(s: &Settings) {
             c.rtree_size_pct,
             c.dominant_graph_size_pct
         );
+        rec.record(
+            format!("fig6/{name}/Efficient-IQ/build_time"),
+            c.efficient_time,
+            "s",
+        );
+        rec.record(format!("fig6/{name}/R-tree/build_time"), c.rtree_time, "s");
+        rec.record(
+            format!("fig6/{name}/DominantGraph/build_time"),
+            c.dominant_graph_time,
+            "s",
+        );
+        rec.record(
+            format!("fig6/{name}/Efficient-IQ/size"),
+            c.efficient_size_pct,
+            "pct",
+        );
+        rec.record(format!("fig6/{name}/R-tree/size"), c.rtree_size_pct, "pct");
+        rec.record(
+            format!("fig6/{name}/DominantGraph/size"),
+            c.dominant_graph_size_pct,
+            "pct",
+        );
     }
     println!();
 }
@@ -202,12 +291,29 @@ fn print_processing_header(x_label: &str) {
     println!();
 }
 
-fn print_processing_row(x: String, inst: &Instance, s: &Settings, seed: u64) {
+fn print_processing_row(
+    series: &str,
+    x: String,
+    inst: &Instance,
+    s: &Settings,
+    seed: u64,
+    rec: &mut Recorder,
+) {
     let opts = processing_opts();
     let mut times = Vec::new();
     let mut ratios = Vec::new();
     for scheme in Scheme::ALL {
         let m = measure_processing(inst, scheme, s, &opts, seed);
+        rec.record(
+            format!("{series}/{}/time", scheme.label()),
+            m.avg_time_ms,
+            "ms",
+        );
+        rec.record(
+            format!("{series}/{}/cost_per_hit", scheme.label()),
+            m.avg_cost_per_hit,
+            "cost/hit",
+        );
         times.push(m.avg_time_ms);
         ratios.push(m.avg_cost_per_hit);
     }
@@ -222,7 +328,7 @@ fn print_processing_row(x: String, inst: &Instance, s: &Settings, seed: u64) {
     println!();
 }
 
-fn fig_processing_objects(s: &Settings, dist: Distribution, fignum: u32) {
+fn fig_processing_objects(s: &Settings, dist: Distribution, fignum: u32, rec: &mut Recorder) {
     println!(
         "== Figure {fignum}: IQ processing vs number of objects on {} ==",
         dist.label()
@@ -238,12 +344,19 @@ fn fig_processing_objects(s: &Settings, dist: Distribution, fignum: u32) {
             s.k_max,
             70 + fignum as u64,
         );
-        print_processing_row(n.to_string(), &inst, s, 700 + fignum as u64);
+        print_processing_row(
+            &format!("fig{fignum}/|D|={n}"),
+            n.to_string(),
+            &inst,
+            s,
+            700 + fignum as u64,
+            rec,
+        );
     }
     println!();
 }
 
-fn fig_processing_queries(s: &Settings, qdist: QueryDistribution, fignum: u32) {
+fn fig_processing_queries(s: &Settings, qdist: QueryDistribution, fignum: u32, rec: &mut Recorder) {
     println!(
         "== Figure {fignum}: IQ processing vs number of queries on {} ==",
         qdist.label()
@@ -259,21 +372,35 @@ fn fig_processing_queries(s: &Settings, qdist: QueryDistribution, fignum: u32) {
             s.k_max,
             80 + fignum as u64,
         );
-        print_processing_row(m.to_string(), &inst, s, 800 + fignum as u64);
+        print_processing_row(
+            &format!("fig{fignum}/|Q|={m}"),
+            m.to_string(),
+            &inst,
+            s,
+            800 + fignum as u64,
+            rec,
+        );
     }
     println!();
 }
 
-fn fig12(s: &Settings) {
+fn fig12(s: &Settings, rec: &mut Recorder) {
     println!("== Figure 12: IQ processing on the real-world datasets ==");
     print_processing_header("dataset");
     for (name, inst) in real_datasets(s) {
-        print_processing_row(name.to_string(), &inst, s, 120);
+        print_processing_row(
+            &format!("fig12/{name}"),
+            name.to_string(),
+            &inst,
+            s,
+            120,
+            rec,
+        );
     }
     println!();
 }
 
-fn fig13(s: &Settings) {
+fn fig13(s: &Settings, rec: &mut Recorder) {
     println!("== Figure 13: Efficient-IQ scalability vs number of variables ==");
     println!("{:>8} | {:>14} | {:>14}", "vars", "time (ms)", "cost/hit");
     for d in 1..=5usize {
@@ -287,7 +414,20 @@ fn fig13(s: &Settings) {
             130 + d as u64,
         );
         let m = measure_processing(&inst, Scheme::EfficientIq, s, &processing_opts(), 131);
-        println!("{:>8} | {:>14.1} | {:>14.4}", d, m.avg_time_ms, m.avg_cost_per_hit);
+        println!(
+            "{:>8} | {:>14.1} | {:>14.4}",
+            d, m.avg_time_ms, m.avg_cost_per_hit
+        );
+        rec.record(
+            format!("fig13/vars={d}/Efficient-IQ/time"),
+            m.avg_time_ms,
+            "ms",
+        );
+        rec.record(
+            format!("fig13/vars={d}/Efficient-IQ/cost_per_hit"),
+            m.avg_cost_per_hit,
+            "cost/hit",
+        );
     }
     println!();
 }

@@ -112,8 +112,12 @@ pub enum Scheme {
 
 impl Scheme {
     /// All four schemes in the paper's plotting order.
-    pub const ALL: [Scheme; 4] =
-        [Scheme::EfficientIq, Scheme::RtaIq, Scheme::Greedy, Scheme::Random];
+    pub const ALL: [Scheme; 4] = [
+        Scheme::EfficientIq,
+        Scheme::RtaIq,
+        Scheme::Greedy,
+        Scheme::Random,
+    ];
 
     /// The label used in the figures.
     pub fn label(self) -> &'static str {
@@ -202,7 +206,7 @@ pub fn measure_processing(
     seed: u64,
 ) -> ProcessingMetrics {
     let mut rng = StdRng::seed_from_u64(seed);
-    let index = QueryIndex::build(instance);
+    let index = QueryIndex::build_with(instance, &opts.exec);
     let bounds = StrategyBounds::unbounded(instance.dim());
     let cost = EuclideanCost;
 
@@ -234,19 +238,19 @@ pub fn measure_processing(
                 iq_core::baselines::rta_max_hit_iq(instance, target, beta, &cost, &bounds, opts)
             }
             (Scheme::Greedy, true) => {
-                let mut ev = TargetEvaluator::new(instance, &index, target);
+                let mut ev = TargetEvaluator::new_with(instance, &index, target, &opts.exec);
                 greedy_iq(&mut ev, Some(tau), None, &cost, &bounds, opts)
             }
             (Scheme::Greedy, false) => {
-                let mut ev = TargetEvaluator::new(instance, &index, target);
+                let mut ev = TargetEvaluator::new_with(instance, &index, target, &opts.exec);
                 greedy_iq(&mut ev, None, Some(beta), &cost, &bounds, opts)
             }
             (Scheme::Random, true) => {
-                let mut ev = TargetEvaluator::new(instance, &index, target);
+                let mut ev = TargetEvaluator::new_with(instance, &index, target, &opts.exec);
                 random_min_cost_iq(&mut ev, tau, &cost, &bounds, &mut rng, 500)
             }
             (Scheme::Random, false) => {
-                let mut ev = TargetEvaluator::new(instance, &index, target);
+                let mut ev = TargetEvaluator::new_with(instance, &index, target, &opts.exec);
                 random_max_hit_iq(&mut ev, beta, &cost, &bounds, &mut rng, 500)
             }
         };
@@ -309,11 +313,11 @@ pub fn run_one_min_cost(
             iq_core::baselines::rta_min_cost_iq(instance, target, tau, &cost, &bounds, opts)
         }
         Scheme::Greedy => {
-            let mut ev = TargetEvaluator::new(instance, index, target);
+            let mut ev = TargetEvaluator::new_with(instance, index, target, &opts.exec);
             greedy_iq(&mut ev, Some(tau), None, &cost, &bounds, opts)
         }
         Scheme::Random => {
-            let mut ev = TargetEvaluator::new(instance, index, target);
+            let mut ev = TargetEvaluator::new_with(instance, index, target, &opts.exec);
             let mut rng = StdRng::seed_from_u64(seed);
             random_min_cost_iq(&mut ev, tau, &cost, &bounds, &mut rng, 300)
         }
@@ -405,7 +409,12 @@ mod tests {
             5,
             2,
         );
-        let tiny = Settings { iqs_per_point: 2, tau_range: (3, 6), beta_range: (0.2, 0.5), ..s };
+        let tiny = Settings {
+            iqs_per_point: 2,
+            tau_range: (3, 6),
+            beta_range: (0.2, 0.5),
+            ..s
+        };
         for scheme in Scheme::ALL {
             let m = measure_processing(&inst, scheme, &tiny, &SearchOptions::default(), 3);
             assert_eq!(m.issued, 2);

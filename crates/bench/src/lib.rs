@@ -10,8 +10,10 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod record;
 
 pub use harness::{
     build_instance, measure_index_costs, measure_processing, print_settings, IndexCosts,
     ProcessingMetrics, Scheme, Settings,
 };
+pub use record::{BenchEntry, Recorder};

@@ -1,0 +1,176 @@
+//! Machine-readable figure output.
+//!
+//! `figures --json out.json` records every printed measurement as a flat
+//! `name`/`value`/`unit` series — the same shape the
+//! `github-action-benchmark` tooling consumes (`BENCHMARK_DATA.benches` in
+//! its `data.js`), so a CI run can diff figure series across commits
+//! without scraping the human-readable tables.
+//!
+//! The writer is hand-rolled: the workspace is built offline and the
+//! series names/units are plain ASCII, so a serde dependency would buy
+//! nothing.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One measured point: `fig7/|D|=2000/Efficient-IQ/time` = `12.3 ms`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Slash-separated series key: `figure/x/scheme/metric`.
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// The unit the value is expressed in (`ms`, `s`, `pct`, …).
+    pub unit: &'static str,
+}
+
+/// Collects [`BenchEntry`] points while the figures print, and writes them
+/// out as one JSON document at the end of the run.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    path: Option<PathBuf>,
+    entries: Vec<BenchEntry>,
+}
+
+impl Recorder {
+    /// A recorder that keeps nothing (no `--json` flag given).
+    pub fn disabled() -> Self {
+        Recorder::default()
+    }
+
+    /// A recorder that will write to `path` on [`Recorder::finish`].
+    pub fn to_path(path: impl Into<PathBuf>) -> Self {
+        Recorder {
+            path: Some(path.into()),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether entries are being kept.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Records one measurement. A no-op when disabled, so the figure code
+    /// can record unconditionally.
+    pub fn record(&mut self, name: impl Into<String>, value: f64, unit: &'static str) {
+        if self.enabled() {
+            self.entries.push(BenchEntry {
+                name: name.into(),
+                value,
+                unit,
+            });
+        }
+    }
+
+    /// The entries recorded so far.
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// Serializes the recorded series; `None` when disabled.
+    pub fn to_json(&self) -> Option<String> {
+        self.path.as_ref()?;
+        Some(render_json(&self.entries))
+    }
+
+    /// Writes the JSON document to the `--json` path, if one was given.
+    /// Returns the path written to.
+    pub fn finish(&self) -> io::Result<Option<&Path>> {
+        match &self.path {
+            None => Ok(None),
+            Some(path) => {
+                std::fs::write(path, render_json(&self.entries))?;
+                Ok(Some(path))
+            }
+        }
+    }
+}
+
+fn render_json(entries: &[BenchEntry]) -> String {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{ \"name\": \"{}\", \"value\": {}, \"unit\": \"{}\" }}{sep}",
+            escape(&e.name),
+            finite(e.value),
+            escape(e.unit),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// JSON has no NaN/Infinity literals; a measurement that produced one is a
+/// bug upstream, but the document must still parse.
+fn finite(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_keeps_nothing() {
+        let mut r = Recorder::disabled();
+        r.record("fig4/x/y", 1.0, "s");
+        assert!(r.entries().is_empty());
+        assert_eq!(r.to_json(), None);
+        assert_eq!(r.finish().unwrap(), None);
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let mut r = Recorder::to_path("/dev/null");
+        r.record("fig7/|D|=2000/Efficient-IQ/time", 12.5, "ms");
+        r.record("fig7/|D|=2000/Efficient-IQ/cost_per_hit", 0.031, "cost/hit");
+        r.record("weird \"name\"\\", f64::NAN, "s");
+        let json = r.to_json().unwrap();
+        assert!(json.starts_with("{\n  \"benches\": [\n"));
+        assert!(json.contains(
+            "{ \"name\": \"fig7/|D|=2000/Efficient-IQ/time\", \"value\": 12.5, \"unit\": \"ms\" },"
+        ));
+        assert!(json.contains("\\\"name\\\"\\\\"));
+        assert!(json.contains("\"value\": null"));
+        // Balanced braces/brackets, no trailing comma before the close.
+        assert!(json.ends_with("  ]\n}\n"));
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn finish_writes_the_file() {
+        let path = std::env::temp_dir().join("iq_recorder_test.json");
+        let mut r = Recorder::to_path(&path);
+        r.record("a/b", 2.0, "s");
+        let written = r.finish().unwrap().unwrap();
+        assert_eq!(written, path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"name\": \"a/b\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

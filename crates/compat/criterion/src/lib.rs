@@ -1,0 +1,324 @@
+//! Offline, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! Part of the workspace's hermetic-build compatibility layer (see
+//! `crates/compat/README.md`). Provides the benchmarking surface the
+//! workspace's `benches/` use — [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], `iter` / `iter_batched`, [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! wall-clock sampler: warm-up, auto-calibrated iteration batching, and a
+//! median / mean ± stddev report per benchmark.
+//!
+//! No HTML reports, statistical regression, or plotting; each measurement
+//! prints one line, which is all the workspace's EXPERIMENTS.md workflow
+//! consumes.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on: the
+/// sampler always times the routine per batch, excluding setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Collected per-iteration times from the most recent run.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch calibration: aim for ~2 ms per sample so cheap
+        // routines aren't dominated by timer resolution.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        let batch = if once < Duration::from_micros(100) {
+            (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000)
+                as usize
+        } else {
+            1
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let mean_ns = samples.iter().map(|d| d.as_nanos() as f64).sum::<f64>() / samples.len() as f64;
+    let var = samples
+        .iter()
+        .map(|d| {
+            let x = d.as_nanos() as f64 - mean_ns;
+            x * x
+        })
+        .sum::<f64>()
+        / samples.len() as f64;
+    let mean = Duration::from_nanos(mean_ns as u64);
+    let sd = Duration::from_nanos(var.sqrt() as u64);
+    println!(
+        "{name:<50} time: [median {} | mean {} ± {}]  ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(sd),
+        samples.len()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report lines were already printed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager: filtering, sampling, and reporting.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` / `cargo test --benches -- --test`:
+        // keep name-looking args as a substring filter, ignore flags.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.ends_with(".rs"));
+        Criterion { filter, default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Overrides the default sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = id.into_id();
+        let n = self.default_sample_size;
+        self.run_one(&full, n, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { sample_size, samples: Vec::new() };
+        f(&mut b);
+        report(name, &b.samples);
+    }
+
+    /// Final summary hook (upstream prints a report here; samples were
+    /// already reported per benchmark).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` passes `--test`: smoke-run quickly.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion { filter: None, default_sample_size: 3 };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut ran = 0;
+        group.bench_with_input(BenchmarkId::new("inc", 1), &1u64, |b, &x| {
+            b.iter(|| x + 1);
+            ran += 1;
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("nomatch".into()), default_sample_size: 2 };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(!ran);
+    }
+}

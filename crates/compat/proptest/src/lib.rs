@@ -1,0 +1,660 @@
+//! Offline, dependency-free subset of the `proptest` 1.x API.
+//!
+//! Part of the workspace's hermetic-build compatibility layer (see
+//! `crates/compat/README.md`). Implements the surface the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`, numeric
+//! range and tuple strategies, `prop::collection::vec`, `prop::option::of`,
+//! `prop::num::f64::NORMAL`, `any::<T>()`, the [`proptest!`] test macro
+//! with `#![proptest_config]`, and the `prop_assert*` / `prop_assume!` /
+//! `prop_oneof!` macros.
+//!
+//! Deliberate simplifications versus upstream: cases are generated from a
+//! deterministic per-test seed (override with `PROPTEST_CASES` /
+//! `PROPTEST_SEED`), there is **no shrinking** — a failing case reports its
+//! inputs via the assertion message instead — and `prop_assume!` rejections
+//! simply redraw, capped at 100× the case budget.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Errors a test-case body can raise (via the `prop_assert*` macros).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; redraw and retry.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Creates a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type of a generated test-case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The random source handed to strategies.
+pub type TestRng = StdRng;
+
+/// A recipe for generating values of one type.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; this subset generates values directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value: core::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: core::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chains a dependent strategy: `f` builds a second-stage strategy
+    /// from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values failing `f` (redraws, bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f, whence }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: core::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 consecutive draws", self.whence);
+    }
+}
+
+/// A type-erased strategy (cheaply cloneable).
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T: core::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-range uniform strategy for primitives, `any::<T>()`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`Arbitrary::arbitrary`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy behind `any::<T>()` for primitives.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Sizes accepted by [`vec`]: a fixed `usize` or a `usize` range.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn draw(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn draw(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: IntoSizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`prop::option::of`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// `None` one quarter of the time, `Some(inner)` otherwise (matching
+    /// upstream's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric class strategies (`prop::num::f64::NORMAL`).
+
+    pub mod f64 {
+        //! Strategies over `f64` float classes.
+
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Generates normal (non-zero, non-subnormal, finite) `f64`s of
+        /// either sign across the full exponent range.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalF64;
+
+        /// The normal-class strategy instance.
+        pub const NORMAL: NormalF64 = NormalF64;
+
+        impl Strategy for NormalF64 {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    // Random sign/exponent/mantissa, rejecting non-normals.
+                    let bits: u64 = rng.gen::<u64>();
+                    let v = f64::from_bits(bits);
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's module path and
+/// name, XOR the optional `PROPTEST_SEED` override.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let env = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    h ^ env
+}
+
+/// Number of cases to run: `PROPTEST_CASES` env override, else the config.
+pub fn cases_for(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(config.cases)
+}
+
+/// Runs one property test: draws inputs, runs the body, retries
+/// rejections, panics with the case description on failure.
+pub fn run_property_test<F: FnMut(&mut TestRng) -> TestCaseResult>(
+    test_path: &str,
+    config: &ProptestConfig,
+    mut body: F,
+) {
+    let cases = cases_for(config);
+    let seed = seed_for(test_path);
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = (cases as u64) * 100;
+    let mut case_idx = 0u64;
+    while accepted < cases {
+        // Decorrelated per-case stream: deterministic, independent of how
+        // many draws previous cases consumed.
+        let mut rng = TestRng::seed_from_u64(seed ^ case_idx.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        case_idx += 1;
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "{test_path}: too many prop_assume! rejections \
+                         ({rejected} rejects for {accepted}/{cases} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_path}: property failed at case #{accepted} \
+                     (seed {seed}, case stream {}):\n{msg}",
+                    case_idx - 1
+                );
+            }
+        }
+    }
+}
+
+/// The property-test macro: each `fn name(input in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: `config` is bound outside the
+/// per-function repetition so it may be referenced inside it.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_property_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |rng| {
+                        $(let $pat = $crate::Strategy::generate(&($strat), rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", args..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "`{}` == `{}` failed: {:?} != {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "`{}` == `{}` failed: {:?} != {:?}: {}",
+            stringify!($a), stringify!($b), a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "`{}` != `{}` failed: both are {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "`{}` != `{}` failed: both are {:?}: {}",
+            stringify!($a), stringify!($b), a, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assume!(cond)` — rejects the case (redraw) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_oneof![w1 => strat1, w2 => strat2, ..]` (or unweighted) — picks a
+/// branch by weight, then draws from it. All branches must generate the
+/// same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Weighted union of same-typed strategies (see [`prop_oneof!`]).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> OneOf<T> {
+    /// Builds the union; weights must sum to a positive value.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<T: core::fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.gen_range(0..self.total);
+        for (w, strat) in &self.arms {
+            if roll < *w {
+                return strat.generate(rng);
+            }
+            roll -= w;
+        }
+        unreachable!("weighted selection out of range")
+    }
+}
+
+/// The `proptest::prelude` equivalent: everything tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// The `prop::` module path used by `prop::collection::vec` etc.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        let mut rng = <crate::TestRng as rand::SeedableRng>::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = crate::Strategy::generate(&(0i32..8), &mut rng);
+            assert!((0..8).contains(&v));
+            let (a, b) = crate::Strategy::generate(&((0usize..4), (0.5f64..1.0)), &mut rng);
+            assert!(a < 4 && (0.5..1.0).contains(&b));
+            let xs = crate::Strategy::generate(&prop::collection::vec(0u32..10, 3..6), &mut rng);
+            assert!((3..6).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn normal_f64_is_normal() {
+        let mut rng = <crate::TestRng as rand::SeedableRng>::seed_from_u64(2);
+        for _ in 0..500 {
+            let x = crate::Strategy::generate(&prop::num::f64::NORMAL, &mut rng);
+            assert!(x.is_normal());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u32..100, ys in prop::collection::vec(0i32..10, 0..5)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len(), ys.iter().count());
+            prop_assert_ne!(x, 13);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![3 => (0i32..5).prop_map(|x| x * 2), 1 => 100i32..105]) {
+            prop_assert!((v >= 100 && v < 105) || (v % 2 == 0 && v < 10));
+        }
+    }
+}

@@ -83,7 +83,10 @@ impl HitEvaluator for RtaEvaluator<'_> {
 
     fn required_rhs(&self, q: usize) -> Option<f64> {
         let (_, thresh) = self.thresh[q]?;
-        let ts = dot(&self.objects[self.target], &self.instance.queries()[q].weights);
+        let ts = dot(
+            &self.objects[self.target],
+            &self.instance.queries()[q].weights,
+        );
         Some(thresh - ts - strict_eps(thresh))
     }
 
@@ -336,15 +339,12 @@ pub fn random_max_hit_iq<E: HitEvaluator, R: Rng>(
 }
 
 /// A random direction scaled by `scale`, clipped into the bounds.
-fn random_strategy<R: Rng>(
-    d: usize,
-    scale: f64,
-    bounds: &StrategyBounds,
-    rng: &mut R,
-) -> Vector {
+fn random_strategy<R: Rng>(d: usize, scale: f64, bounds: &StrategyBounds, rng: &mut R) -> Vector {
     let raw: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
     let v = Vector::new(raw);
-    let v = v.normalized().unwrap_or_else(|| Vector::basis(d.max(1), 0, 1.0));
+    let v = v
+        .normalized()
+        .unwrap_or_else(|| Vector::basis(d.max(1), 0, 1.0));
     v.scaled(scale).clamped(bounds.lo(), bounds.hi())
 }
 
@@ -420,7 +420,12 @@ mod tests {
         let eff = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &opts);
         let rta = rta_min_cost_iq(&inst, target, tau, &cost, &bounds, &opts);
         assert_eq!(eff.hits_after, rta.hits_after);
-        assert!((eff.cost - rta.cost).abs() < 1e-6, "{} vs {}", eff.cost, rta.cost);
+        assert!(
+            (eff.cost - rta.cost).abs() < 1e-6,
+            "{} vs {}",
+            eff.cost,
+            rta.cost
+        );
     }
 
     #[test]

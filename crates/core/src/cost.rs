@@ -29,7 +29,10 @@ pub struct StrategyBounds {
 impl StrategyBounds {
     /// Unbounded strategies in `d` dimensions (`p` defined on `R^d`).
     pub fn unbounded(d: usize) -> Self {
-        StrategyBounds { lo: vec![f64::NEG_INFINITY; d], hi: vec![f64::INFINITY; d] }
+        StrategyBounds {
+            lo: vec![f64::NEG_INFINITY; d],
+            hi: vec![f64::INFINITY; d],
+        }
     }
 
     /// Explicit per-attribute bounds `lo[i] ≤ sᵢ ≤ hi[i]`.
@@ -61,16 +64,8 @@ impl StrategyBounds {
     pub fn from_attribute_range(current: &[f64], value_lo: &[f64], value_hi: &[f64]) -> Self {
         assert_eq!(current.len(), value_lo.len(), "range length mismatch");
         assert_eq!(current.len(), value_hi.len(), "range length mismatch");
-        let lo = current
-            .iter()
-            .zip(value_lo)
-            .map(|(c, l)| l - c)
-            .collect();
-        let hi = current
-            .iter()
-            .zip(value_hi)
-            .map(|(c, h)| h - c)
-            .collect();
+        let lo = current.iter().zip(value_lo).map(|(c, l)| l - c).collect();
+        let hi = current.iter().zip(value_hi).map(|(c, h)| h - c).collect();
         Self::new(lo, hi)
     }
 
@@ -98,9 +93,9 @@ impl StrategyBounds {
 
     /// Whether a strategy is valid under the bounds (with fp slack).
     pub fn valid(&self, s: &Vector) -> bool {
-        s.iter().enumerate().all(|(i, &v)| {
-            v >= self.lo[i] - 1e-9 && v <= self.hi[i] + 1e-9
-        })
+        s.iter()
+            .enumerate()
+            .all(|(i, &v)| v >= self.lo[i] - 1e-9 && v <= self.hi[i] + 1e-9)
     }
 
     /// Whether any attribute is actually constrained.
@@ -261,7 +256,10 @@ pub struct WeightedEuclideanCost {
 impl WeightedEuclideanCost {
     /// Creates the cost with per-attribute weights.
     pub fn new(weights: Vec<f64>) -> Self {
-        assert!(weights.iter().all(|&w| w > 0.0), "cost weights must be positive");
+        assert!(
+            weights.iter().all(|&w| w > 0.0),
+            "cost weights must be positive"
+        );
         WeightedEuclideanCost { weights }
     }
 }
@@ -295,16 +293,16 @@ impl CostFunction for WeightedEuclideanCost {
             Vector::new(v.iter().zip(&scale).map(|(x, s)| x / s).collect())
         };
         let mut hs: Vec<HalfSpace> = vec![HalfSpace::new(transform(&av), rhs)];
-        for i in 0..d {
+        for (i, &si) in scale.iter().enumerate() {
             if bounds.hi()[i].is_finite() {
                 hs.push(HalfSpace::new(
-                    Vector::basis(d, i, 1.0 / scale[i]),
+                    Vector::basis(d, i, 1.0 / si),
                     bounds.hi()[i],
                 ));
             }
             if bounds.lo()[i].is_finite() {
                 hs.push(HalfSpace::new(
-                    Vector::basis(d, i, -1.0 / scale[i]),
+                    Vector::basis(d, i, -1.0 / si),
                     -bounds.lo()[i],
                 ));
             }
@@ -375,7 +373,13 @@ impl CostFunction for AsymmetricLinearCost {
     fn cost(&self, s: &Vector) -> f64 {
         s.iter()
             .enumerate()
-            .map(|(i, &v)| if v >= 0.0 { self.up[i] * v } else { -self.down[i] * v })
+            .map(|(i, &v)| {
+                if v >= 0.0 {
+                    self.up[i] * v
+                } else {
+                    -self.down[i] * v
+                }
+            })
             .sum()
     }
 
@@ -486,9 +490,7 @@ impl CostFunction for ExprCost {
         // Search along the clipped steepest direction −a: s(t) = clip(−t·â).
         let av = Vector::from(a);
         let unit = av.normalized()?;
-        let make = |t: f64| -> Vector {
-            unit.scaled(-t).clamped(bounds.lo(), bounds.hi())
-        };
+        let make = |t: f64| -> Vector { unit.scaled(-t).clamped(bounds.lo(), bounds.hi()) };
         let feasible = |t: f64| dot(a, make(t).as_slice()) <= rhs;
         // Find the smallest feasible scale.
         let t_min =
@@ -655,11 +657,7 @@ mod tests {
     fn attribute_value_ranges_map_to_delta_bounds() {
         // A camera at (10 Mpx, $250) may end in [8, 20] Mpx × [$100, $250]:
         // resolution may move ±, price may only drop.
-        let b = StrategyBounds::from_attribute_range(
-            &[10.0, 250.0],
-            &[8.0, 100.0],
-            &[20.0, 250.0],
-        );
+        let b = StrategyBounds::from_attribute_range(&[10.0, 250.0], &[8.0, 100.0], &[20.0, 250.0]);
         assert_eq!(b.lo(), &[-2.0, -150.0]);
         assert_eq!(b.hi(), &[10.0, 0.0]);
         assert!(b.valid(&Vector::from([5.0, -100.0])));
@@ -715,7 +713,13 @@ mod tests {
         let index = QueryIndex::build(&inst);
         let bounds = StrategyBounds::unbounded(3);
         let r = min_cost_iq(
-            &inst, &index, 0, 2, &EuclideanCost, &bounds, &SearchOptions::default(),
+            &inst,
+            &index,
+            0,
+            2,
+            &EuclideanCost,
+            &bounds,
+            &SearchOptions::default(),
         );
         assert!(r.achieved);
         let grid = [Some(1.0), Some(1.0), Some(1.0)];

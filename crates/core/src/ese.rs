@@ -11,13 +11,35 @@
 //!    *affected subspace* (Eqs. 4–5) of the target/threshold-object pair —
 //!    the slab between `(p − o)·q = 0` and `(p + s − o)·q = 0`.
 //!
-//! [`TargetEvaluator::evaluate`] exploits both: queries are pre-grouped by
-//! threshold object (a [`GroupedQueryIndex`] forest), and one slab query
-//! per group retrieves exactly the candidates whose status may change.
-//! [`TargetEvaluator::evaluate_pairwise`] is the literal Algorithm 2 loop
-//! over *all* intersecting objects, kept for validation; both are
+//! ## Shared state vs. scratch state
+//!
+//! Evaluation state is split along the mutability boundary:
+//!
+//! * [`EvalContext`] — everything derived from the instance and the
+//!   [`QueryIndex`] that never changes during a search: admission
+//!   thresholds and the threshold-object grouping
+//!   ([`GroupedQueryIndex`] forest). Read-only, `Send + Sync`, and shared
+//!   freely across worker threads.
+//! * [`EvalCursor`] — the per-search scratch: the cumulative applied
+//!   strategy and the current hit bitmap. Cheap to clone, owned by exactly
+//!   one search (or thread) at a time.
+//!
+//! All scoring entry points take `(&EvalContext, &EvalCursor)`, so any
+//! number of threads can score candidate strategies against one shared
+//! context concurrently — this is what the deterministic parallel search
+//! in [`crate::search`] builds on ([`crate::exec::ExecPolicy`]).
+//!
+//! [`TargetEvaluator`] bundles one context with one cursor behind the
+//! original single-threaded API; existing call sites are unaffected.
+//!
+//! [`EvalContext::evaluate`] exploits both observations above: queries are
+//! pre-grouped by threshold object, and one slab query per group retrieves
+//! exactly the candidates whose status may change.
+//! [`EvalContext::evaluate_pairwise`] is the literal Algorithm 2 loop over
+//! *all* intersecting objects, kept for validation; both are
 //! property-tested against naive re-evaluation.
 
+use crate::exec::ExecPolicy;
 use crate::model::{ImprovementStrategy, Instance};
 use crate::subdomain::QueryIndex;
 use iq_geometry::{vector::dot, Slab, Vector};
@@ -30,71 +52,32 @@ use std::cmp::Ordering;
 /// sign (their hit status may hinge on the id tie-break).
 const BOUNDARY_TOL: f64 = 1e-7;
 
-/// Per-target evaluation state: current scores, hit set, and the
-/// threshold-object grouping that drives fast ESE.
+/// The immutable, shareable half of a target's evaluation state: admission
+/// thresholds and the threshold-object grouping that drives fast ESE.
+/// `Send + Sync`; build once, score from any number of threads.
 #[derive(Debug, Clone)]
-pub struct TargetEvaluator<'a> {
+pub struct EvalContext<'a> {
     instance: &'a Instance,
     target: usize,
-    /// Cumulative strategy committed so far (`p_eff = p + applied`).
-    applied: Vector,
     /// Per query: the admission threshold `(object id, score)`; `None`
     /// when the dataset has fewer than `k` other objects (trivial hit).
     thresh: Vec<Option<(u32, f64)>>,
-    /// Per query: current hit status of the (improved) target.
-    hit: Vec<bool>,
-    hit_count: usize,
     /// Queries grouped by threshold object for slab retrieval.
     grouped: GroupedQueryIndex,
 }
 
-impl<'a> TargetEvaluator<'a> {
-    /// Builds the evaluator for one target using a prebuilt query index.
-    pub fn new(instance: &'a Instance, index: &QueryIndex, target: usize) -> Self {
-        let m = instance.num_queries();
-        let mut thresh = Vec::with_capacity(m);
-        let mut grouped = GroupedQueryIndex::new(instance.dim().max(1));
-        for qi in 0..m {
-            let t = index.threshold_for(instance, qi, target);
-            if let Some((o, _)) = t {
-                grouped.insert(o, instance.queries()[qi].weights.clone(), qi);
-            }
-            thresh.push(t.map(|(o, s)| (o as u32, s)));
-        }
-        let mut ev = TargetEvaluator {
-            instance,
-            target,
-            applied: Vector::zeros(instance.dim()),
-            thresh,
-            hit: vec![false; m],
-            hit_count: 0,
-            grouped,
-        };
-        ev.recompute_hits();
-        ev
-    }
+/// The mutable, per-search half: cumulative applied strategy plus the hit
+/// bitmap it induces. One cursor per concurrent search; clone to fork.
+#[derive(Debug, Clone)]
+pub struct EvalCursor {
+    /// Cumulative strategy committed so far (`p_eff = p + applied`).
+    applied: Vector,
+    /// Per query: current hit status of the (improved) target.
+    hit: Vec<bool>,
+    hit_count: usize,
+}
 
-    /// The target object's id.
-    pub fn target(&self) -> usize {
-        self.target
-    }
-
-    /// The instance being evaluated against.
-    pub fn instance(&self) -> &Instance {
-        self.instance
-    }
-
-    /// The cumulative strategy committed so far.
-    pub fn applied(&self) -> &Vector {
-        &self.applied
-    }
-
-    /// The improved target's current attribute vector `p + applied`.
-    pub fn effective_target(&self) -> Vector {
-        let base = Vector::from(self.instance.object(self.target));
-        &base + &self.applied
-    }
-
+impl EvalCursor {
     /// Current hit count `H(p + applied)`.
     pub fn hit_count(&self) -> usize {
         self.hit_count
@@ -110,6 +93,75 @@ impl<'a> TargetEvaluator<'a> {
         &self.hit
     }
 
+    /// The cumulative strategy committed so far.
+    pub fn applied(&self) -> &Vector {
+        &self.applied
+    }
+}
+
+impl<'a> EvalContext<'a> {
+    /// Builds the shared context for one target using a prebuilt query
+    /// index, with threshold extraction parallelised per query under
+    /// `exec` (results are identical at any thread count).
+    pub fn new_with(
+        instance: &'a Instance,
+        index: &QueryIndex,
+        target: usize,
+        exec: &ExecPolicy,
+    ) -> Self {
+        let thresh: Vec<Option<(u32, f64)>> = exec.map(instance.queries(), |qi, _| {
+            index
+                .threshold_for(instance, qi, target)
+                .map(|(o, s)| (o as u32, s))
+        });
+        // Grouping mutates one shared forest: sequential, in query order.
+        let mut grouped = GroupedQueryIndex::new(instance.dim().max(1));
+        for (qi, t) in thresh.iter().enumerate() {
+            if let Some((o, _)) = t {
+                grouped.insert(*o as usize, instance.queries()[qi].weights.clone(), qi);
+            }
+        }
+        EvalContext {
+            instance,
+            target,
+            thresh,
+            grouped,
+        }
+    }
+
+    /// [`Self::new_with`] under the environment's default
+    /// [`ExecPolicy`] (`IQ_THREADS`).
+    pub fn new(instance: &'a Instance, index: &QueryIndex, target: usize) -> Self {
+        Self::new_with(instance, index, target, &ExecPolicy::from_env())
+    }
+
+    /// A fresh cursor at the unimproved target (zero applied strategy).
+    pub fn new_cursor(&self) -> EvalCursor {
+        let mut cursor = EvalCursor {
+            applied: Vector::zeros(self.instance.dim()),
+            hit: vec![false; self.instance.num_queries()],
+            hit_count: 0,
+        };
+        self.recompute_hits(&mut cursor);
+        cursor
+    }
+
+    /// The target object's id.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// The instance being evaluated against.
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// The improved target's attribute vector `p + applied` under `cursor`.
+    pub fn effective_target(&self, cursor: &EvalCursor) -> Vector {
+        let base = Vector::from(self.instance.object(self.target));
+        &base + &cursor.applied
+    }
+
     /// The admission threshold of query `q` (`None` = trivially hit).
     pub fn threshold(&self, q: usize) -> Option<(usize, f64)> {
         self.thresh[q].map(|(o, s)| (o as usize, s))
@@ -119,9 +171,9 @@ impl<'a> TargetEvaluator<'a> {
     /// strategy `s` on query `q`: hit ⟺ `w_q · s ≤ rhs` (with strictness
     /// folded in as an epsilon when the id tie-break goes against the
     /// target). `None` when the query is trivially hit regardless of `s`.
-    pub fn required_rhs(&self, q: usize) -> Option<f64> {
+    pub fn required_rhs(&self, cursor: &EvalCursor, q: usize) -> Option<f64> {
         let (_, thresh_score) = self.thresh[q]?;
-        let ts = self.current_score(q);
+        let ts = self.current_score(cursor, q);
         // Aim strictly below the threshold with a safety epsilon: this is
         // robust to f64 rounding and to the id tie-break, at a vanishing
         // (1e-9-scale) cost premium. Eq. 6 demands strict `<` anyway.
@@ -129,9 +181,9 @@ impl<'a> TargetEvaluator<'a> {
     }
 
     /// The improved target's current score under query `q`.
-    pub fn current_score(&self, q: usize) -> f64 {
+    pub fn current_score(&self, cursor: &EvalCursor, q: usize) -> f64 {
         dot(
-            self.effective_target().as_slice(),
+            self.effective_target(cursor).as_slice(),
             &self.instance.queries()[q].weights,
         )
     }
@@ -139,60 +191,65 @@ impl<'a> TargetEvaluator<'a> {
     fn hit_status(&self, q: usize, target_score: f64) -> bool {
         match self.thresh[q] {
             None => true,
-            Some((o, os)) => {
-                rank_cmp(target_score, self.target, os, o as usize) == Ordering::Less
-            }
+            Some((o, os)) => rank_cmp(target_score, self.target, os, o as usize) == Ordering::Less,
         }
     }
 
-    fn recompute_hits(&mut self) {
-        let p_eff = self.effective_target();
-        self.hit_count = 0;
+    fn recompute_hits(&self, cursor: &mut EvalCursor) {
+        let p_eff = self.effective_target(cursor);
+        cursor.hit_count = 0;
         for q in 0..self.instance.num_queries() {
             let ts = dot(p_eff.as_slice(), &self.instance.queries()[q].weights);
             let h = self.hit_status(q, ts);
-            self.hit[q] = h;
-            self.hit_count += h as usize;
+            cursor.hit[q] = h;
+            cursor.hit_count += h as usize;
         }
     }
 
     /// **Fast ESE**: `H(p + applied + s)` touching only queries inside the
-    /// per-threshold-object affected subspaces.
-    pub fn evaluate(&self, s: &ImprovementStrategy) -> usize {
+    /// per-threshold-object affected subspaces. `&self` + `&cursor`:
+    /// thread-safe scoring against shared state.
+    pub fn evaluate(&self, cursor: &EvalCursor, s: &ImprovementStrategy) -> usize {
         let mut delta = 0i64;
-        self.visit_changes(s, &mut |_, was, now| {
+        self.visit_changes(cursor, s, &mut |_, was, now| {
             delta += now as i64 - was as i64;
         });
-        (self.hit_count as i64 + delta) as usize
+        (cursor.hit_count as i64 + delta) as usize
     }
 
     /// Fast ESE, reporting each query whose hit status changes as
     /// `(query, was_hit, now_hit)`. Used by the multi-target extension to
     /// maintain union hit counts.
-    pub fn evaluate_changes(&self, s: &ImprovementStrategy) -> Vec<(usize, bool, bool)> {
+    pub fn evaluate_changes(
+        &self,
+        cursor: &EvalCursor,
+        s: &ImprovementStrategy,
+    ) -> Vec<(usize, bool, bool)> {
         let mut out = Vec::new();
-        self.visit_changes(s, &mut |q, was, now| out.push((q, was, now)));
+        self.visit_changes(cursor, s, &mut |q, was, now| out.push((q, was, now)));
         out
     }
 
     fn visit_changes(
         &self,
+        cursor: &EvalCursor,
         s: &ImprovementStrategy,
         visit: &mut impl FnMut(usize, bool, bool),
     ) {
-        let p_eff = self.effective_target();
+        let p_eff = self.effective_target(cursor);
         let p_new = &p_eff + s;
         for group in self.grouped.group_keys() {
             let o_attrs = Vector::from(self.instance.object(group));
             match Slab::affected_subspace(&p_eff, &o_attrs, s) {
                 Some(slab) => {
-                    self.grouped.visit_slab_tol(group, &slab, BOUNDARY_TOL, &mut |qi| {
-                        let w = &self.instance.queries()[qi].weights;
-                        let now = self.hit_status(qi, dot(p_new.as_slice(), w));
-                        if now != self.hit[qi] {
-                            visit(qi, self.hit[qi], now);
-                        }
-                    });
+                    self.grouped
+                        .visit_slab_tol(group, &slab, BOUNDARY_TOL, &mut |qi| {
+                            let w = &self.instance.queries()[qi].weights;
+                            let now = self.hit_status(qi, dot(p_new.as_slice(), w));
+                            if now != cursor.hit[qi] {
+                                visit(qi, cursor.hit[qi], now);
+                            }
+                        });
                 }
                 None => {
                     // Degenerate boundary (target coincides with the
@@ -207,8 +264,8 @@ impl<'a> TargetEvaluator<'a> {
                         &mut |qi| {
                             let w = &self.instance.queries()[qi].weights;
                             let now = self.hit_status(qi, dot(p_new.as_slice(), w));
-                            if now != self.hit[qi] {
-                                visit(qi, self.hit[qi], now);
+                            if now != cursor.hit[qi] {
+                                visit(qi, cursor.hit[qi], now);
                             }
                         },
                     );
@@ -222,8 +279,13 @@ impl<'a> TargetEvaluator<'a> {
     /// full R-tree, and re-evaluates the union of affected queries. Kept as
     /// the faithful-but-slower reference; results are identical to
     /// [`Self::evaluate`].
-    pub fn evaluate_pairwise(&self, index: &QueryIndex, s: &ImprovementStrategy) -> usize {
-        let p_eff = self.effective_target();
+    pub fn evaluate_pairwise(
+        &self,
+        cursor: &EvalCursor,
+        index: &QueryIndex,
+        s: &ImprovementStrategy,
+    ) -> usize {
+        let p_eff = self.effective_target(cursor);
         let p_new = &p_eff + s;
         let mut affected = vec![false; self.instance.num_queries()];
         for l in 0..self.instance.num_objects() {
@@ -237,14 +299,14 @@ impl<'a> TargetEvaluator<'a> {
                 });
             }
         }
-        let mut count = self.hit_count as i64;
+        let mut count = cursor.hit_count as i64;
         for (qi, flag) in affected.iter().enumerate() {
             if !flag {
                 continue;
             }
             let w = &self.instance.queries()[qi].weights;
             let now = self.hit_status(qi, dot(p_new.as_slice(), w));
-            count += now as i64 - self.hit[qi] as i64;
+            count += now as i64 - cursor.hit[qi] as i64;
         }
         count as usize
     }
@@ -253,20 +315,160 @@ impl<'a> TargetEvaluator<'a> {
     /// the stored thresholds. `O(m·d)`; the oracle the fast paths are
     /// tested against (and itself validated against
     /// [`Instance::hit_count_naive`]).
-    pub fn evaluate_naive(&self, s: &ImprovementStrategy) -> usize {
-        let p_new = &self.effective_target() + s;
+    pub fn evaluate_naive(&self, cursor: &EvalCursor, s: &ImprovementStrategy) -> usize {
+        let p_new = &self.effective_target(cursor) + s;
         (0..self.instance.num_queries())
             .filter(|&q| {
-                self.hit_status(q, dot(p_new.as_slice(), &self.instance.queries()[q].weights))
+                self.hit_status(
+                    q,
+                    dot(p_new.as_slice(), &self.instance.queries()[q].weights),
+                )
             })
             .count()
+    }
+
+    /// Commits a strategy onto `cursor`: `applied += s`, with hit state
+    /// recomputed exactly (no incremental drift).
+    pub fn apply(&self, cursor: &mut EvalCursor, s: &ImprovementStrategy) {
+        cursor.applied += s;
+        self.recompute_hits(cursor);
+    }
+}
+
+// The entire point of the split: shared evaluation state must be shareable.
+// Compile-time audit — fails to build if any field loses Send/Sync.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EvalContext<'_>>();
+    assert_send_sync::<EvalCursor>();
+};
+
+/// Per-target evaluation state behind the original single-owner API: one
+/// [`EvalContext`] bundled with one [`EvalCursor`]. Prefer the split types
+/// when scoring from multiple threads; this wrapper is the convenient
+/// front door for sequential callers and implements
+/// [`crate::search::HitEvaluator`].
+#[derive(Debug, Clone)]
+pub struct TargetEvaluator<'a> {
+    ctx: EvalContext<'a>,
+    cursor: EvalCursor,
+}
+
+impl<'a> TargetEvaluator<'a> {
+    /// Builds the evaluator for one target using a prebuilt query index.
+    pub fn new(instance: &'a Instance, index: &QueryIndex, target: usize) -> Self {
+        let ctx = EvalContext::new(instance, index, target);
+        let cursor = ctx.new_cursor();
+        TargetEvaluator { ctx, cursor }
+    }
+
+    /// Builds the evaluator with an explicit execution policy for the
+    /// context-construction phase.
+    pub fn new_with(
+        instance: &'a Instance,
+        index: &QueryIndex,
+        target: usize,
+        exec: &ExecPolicy,
+    ) -> Self {
+        let ctx = EvalContext::new_with(instance, index, target, exec);
+        let cursor = ctx.new_cursor();
+        TargetEvaluator { ctx, cursor }
+    }
+
+    /// Wraps an existing context/cursor pair.
+    pub fn from_parts(ctx: EvalContext<'a>, cursor: EvalCursor) -> Self {
+        TargetEvaluator { ctx, cursor }
+    }
+
+    /// Splits back into the shared context and the scratch cursor.
+    pub fn into_parts(self) -> (EvalContext<'a>, EvalCursor) {
+        (self.ctx, self.cursor)
+    }
+
+    /// The shared (read-only) half.
+    pub fn context(&self) -> &EvalContext<'a> {
+        &self.ctx
+    }
+
+    /// The scratch half.
+    pub fn cursor(&self) -> &EvalCursor {
+        &self.cursor
+    }
+
+    /// The target object's id.
+    pub fn target(&self) -> usize {
+        self.ctx.target()
+    }
+
+    /// The instance being evaluated against.
+    pub fn instance(&self) -> &Instance {
+        self.ctx.instance()
+    }
+
+    /// The cumulative strategy committed so far.
+    pub fn applied(&self) -> &Vector {
+        self.cursor.applied()
+    }
+
+    /// The improved target's current attribute vector `p + applied`.
+    pub fn effective_target(&self) -> Vector {
+        self.ctx.effective_target(&self.cursor)
+    }
+
+    /// Current hit count `H(p + applied)`.
+    pub fn hit_count(&self) -> usize {
+        self.cursor.hit_count()
+    }
+
+    /// Whether query `q` is currently hit.
+    pub fn is_hit(&self, q: usize) -> bool {
+        self.cursor.is_hit(q)
+    }
+
+    /// Current hit bitmap.
+    pub fn hits(&self) -> &[bool] {
+        self.cursor.hits()
+    }
+
+    /// The admission threshold of query `q` (`None` = trivially hit).
+    pub fn threshold(&self, q: usize) -> Option<(usize, f64)> {
+        self.ctx.threshold(q)
+    }
+
+    /// See [`EvalContext::required_rhs`].
+    pub fn required_rhs(&self, q: usize) -> Option<f64> {
+        self.ctx.required_rhs(&self.cursor, q)
+    }
+
+    /// The improved target's current score under query `q`.
+    pub fn current_score(&self, q: usize) -> f64 {
+        self.ctx.current_score(&self.cursor, q)
+    }
+
+    /// **Fast ESE**: see [`EvalContext::evaluate`].
+    pub fn evaluate(&self, s: &ImprovementStrategy) -> usize {
+        self.ctx.evaluate(&self.cursor, s)
+    }
+
+    /// See [`EvalContext::evaluate_changes`].
+    pub fn evaluate_changes(&self, s: &ImprovementStrategy) -> Vec<(usize, bool, bool)> {
+        self.ctx.evaluate_changes(&self.cursor, s)
+    }
+
+    /// See [`EvalContext::evaluate_pairwise`].
+    pub fn evaluate_pairwise(&self, index: &QueryIndex, s: &ImprovementStrategy) -> usize {
+        self.ctx.evaluate_pairwise(&self.cursor, index, s)
+    }
+
+    /// See [`EvalContext::evaluate_naive`].
+    pub fn evaluate_naive(&self, s: &ImprovementStrategy) -> usize {
+        self.ctx.evaluate_naive(&self.cursor, s)
     }
 
     /// Commits a strategy: `applied += s`, with hit state recomputed
     /// exactly (no incremental drift).
     pub fn apply(&mut self, s: &ImprovementStrategy) {
-        self.applied += s;
-        self.recompute_hits();
+        self.ctx.apply(&mut self.cursor, s)
     }
 }
 
@@ -316,7 +518,11 @@ mod tests {
         let idx = QueryIndex::build(&inst);
         for target in [0usize, 13, 39] {
             let ev = TargetEvaluator::new(&inst, &idx, target);
-            assert_eq!(ev.hit_count(), inst.hit_count_naive(target), "target {target}");
+            assert_eq!(
+                ev.hit_count(),
+                inst.hit_count_naive(target),
+                "target {target}"
+            );
         }
     }
 
@@ -328,9 +534,7 @@ mod tests {
         for target in [0usize, 11, 29] {
             let ev = TargetEvaluator::new(&inst, &idx, target);
             for _ in 0..30 {
-                let s = Vector::new(
-                    (0..3).map(|_| (rnd() - 0.5) * 0.6).collect::<Vec<_>>(),
-                );
+                let s = Vector::new((0..3).map(|_| (rnd() - 0.5) * 0.6).collect::<Vec<_>>());
                 let fast = ev.evaluate(&s);
                 let naive = ev.evaluate_naive(&s);
                 assert_eq!(fast, naive, "target {target}, s {s:?}");
@@ -495,5 +699,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn context_identical_at_any_thread_count() {
+        let inst = random_instance(30, 70, 3, 4, 29);
+        let idx = QueryIndex::build(&inst);
+        let base = EvalContext::new_with(&inst, &idx, 8, &ExecPolicy::sequential());
+        for threads in [2usize, 3, 8] {
+            let ctx = EvalContext::new_with(&inst, &idx, 8, &ExecPolicy::with_threads(threads));
+            assert_eq!(ctx.thresh, base.thresh, "threads = {threads}");
+            assert_eq!(
+                ctx.new_cursor().hits(),
+                base.new_cursor().hits(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_context_scores_from_many_threads() {
+        // One context, many concurrent readers: every thread must see the
+        // same scores the sequential path computes.
+        let inst = random_instance(30, 60, 3, 4, 47);
+        let idx = QueryIndex::build(&inst);
+        let ctx = EvalContext::new(&inst, &idx, 3);
+        let cursor = ctx.new_cursor();
+        let mut rnd = lcg(5);
+        let strategies: Vec<Vector> = (0..24)
+            .map(|_| Vector::new((0..3).map(|_| (rnd() - 0.5) * 0.5).collect::<Vec<_>>()))
+            .collect();
+        let expect: Vec<usize> = strategies
+            .iter()
+            .map(|s| ctx.evaluate(&cursor, s))
+            .collect();
+        let got = ExecPolicy::with_threads(4).map(&strategies, |_, s| ctx.evaluate(&cursor, s));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn forked_cursors_are_independent() {
+        let inst = random_instance(25, 40, 3, 3, 83);
+        let idx = QueryIndex::build(&inst);
+        let ctx = EvalContext::new(&inst, &idx, 6);
+        let pristine = ctx.new_cursor();
+        let mut fork = pristine.clone();
+        ctx.apply(&mut fork, &Vector::from([-0.2, 0.1, -0.1]));
+        // The original cursor is untouched by the fork's progress.
+        assert_eq!(pristine.hit_count(), ctx.new_cursor().hit_count());
+        assert_eq!(pristine.applied().as_slice(), &[0.0, 0.0, 0.0]);
+        // And the fork matches a wrapper that applied the same strategy.
+        let mut ev = TargetEvaluator::new(&inst, &idx, 6);
+        ev.apply(&Vector::from([-0.2, 0.1, -0.1]));
+        assert_eq!(fork.hit_count(), ev.hit_count());
+        assert_eq!(fork.hits(), ev.hits());
+    }
+
+    #[test]
+    fn wrapper_round_trips_through_parts() {
+        let inst = random_instance(20, 30, 2, 3, 19);
+        let idx = QueryIndex::build(&inst);
+        let mut ev = TargetEvaluator::new(&inst, &idx, 2);
+        ev.apply(&Vector::from([-0.1, 0.05]));
+        let hits = ev.hit_count();
+        let (ctx, cursor) = ev.into_parts();
+        let ev2 = TargetEvaluator::from_parts(ctx, cursor);
+        assert_eq!(ev2.hit_count(), hits);
+        assert_eq!(ev2.applied().as_slice(), &[-0.1, 0.05]);
     }
 }

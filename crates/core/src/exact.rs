@@ -54,7 +54,11 @@ pub fn exact_min_cost_iq(
     let sol = exact_min_cost(&conds, tau, &L2SubsetSolver)?;
     let strategy = fix_dim(sol.strategy, instance.dim());
     let hits_after = ev.evaluate_naive(&strategy);
-    Some(ExactReport { cost: sol.cost, strategy, hits_after })
+    Some(ExactReport {
+        cost: sol.cost,
+        strategy,
+        hits_after,
+    })
 }
 
 /// Exact **Max-Hit IQ** under the Euclidean cost.
@@ -69,7 +73,11 @@ pub fn exact_max_hit_iq(
     let sol = exact_max_hit(&conds, budget, &L2SubsetSolver);
     let strategy = fix_dim(sol.strategy, instance.dim());
     let hits_after = ev.evaluate_naive(&strategy);
-    ExactReport { cost: sol.cost, strategy, hits_after }
+    ExactReport {
+        cost: sol.cost,
+        strategy,
+        hits_after,
+    }
 }
 
 /// Exact Min-Cost via the §4.2.2 reduction: binary-search the smallest
@@ -131,7 +139,12 @@ mod tests {
         let mut rnd = lcg(seed);
         let objects: Vec<Vec<f64>> = (0..8).map(|_| vec![rnd(), rnd()]).collect();
         let queries: Vec<TopKQuery> = (0..8)
-            .map(|_| TopKQuery::new(vec![0.2 + rnd() * 0.8, 0.2 + rnd() * 0.8], 1 + (rnd() * 2.0) as usize))
+            .map(|_| {
+                TopKQuery::new(
+                    vec![0.2 + rnd() * 0.8, 0.2 + rnd() * 0.8],
+                    1 + (rnd() * 2.0) as usize,
+                )
+            })
             .collect();
         Instance::new(objects, queries).unwrap()
     }

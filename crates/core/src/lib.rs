@@ -32,6 +32,7 @@ pub mod baselines;
 pub mod cost;
 pub mod ese;
 pub mod exact;
+pub mod exec;
 pub mod model;
 pub mod multi;
 pub mod search;
@@ -39,11 +40,11 @@ pub mod subdomain;
 pub mod update;
 
 pub use cost::{
-    quantize_strategy,
-    AsymmetricLinearCost, CostFunction, EuclideanCost, ExprCost, L1Cost, StrategyBounds,
-    WeightedEuclideanCost,
+    quantize_strategy, AsymmetricLinearCost, CostFunction, EuclideanCost, ExprCost, L1Cost,
+    StrategyBounds, WeightedEuclideanCost,
 };
-pub use ese::TargetEvaluator;
+pub use ese::{EvalContext, EvalCursor, TargetEvaluator};
+pub use exec::ExecPolicy;
 pub use model::{ImprovementStrategy, Instance, ModelError, TopKQuery};
-pub use search::{max_hit_iq, min_cost_iq, HitEvaluator, IqReport, SearchOptions};
+pub use search::{max_hit_iq, min_cost_iq, CandidateScorer, HitEvaluator, IqReport, SearchOptions};
 pub use subdomain::QueryIndex;

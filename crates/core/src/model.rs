@@ -63,7 +63,10 @@ impl Instance {
             .unwrap_or(0);
         for o in &objects {
             if o.len() != dim {
-                return Err(ModelError::DimensionMismatch { expected: dim, found: o.len() });
+                return Err(ModelError::DimensionMismatch {
+                    expected: dim,
+                    found: o.len(),
+                });
             }
             if o.iter().any(|v| !v.is_finite()) {
                 return Err(ModelError::NonFinite);
@@ -80,7 +83,11 @@ impl Instance {
                 return Err(ModelError::NonFinite);
             }
         }
-        Ok(Instance { dim, objects, queries })
+        Ok(Instance {
+            dim,
+            objects,
+            queries,
+        })
     }
 
     /// Attribute-space dimensionality.
@@ -134,7 +141,10 @@ impl Instance {
             return Err(ModelError::IndexOutOfRange(target));
         }
         if s.dim() != self.dim {
-            return Err(ModelError::DimensionMismatch { expected: self.dim, found: s.dim() });
+            return Err(ModelError::DimensionMismatch {
+                expected: self.dim,
+                found: s.dim(),
+            });
         }
         if !s.is_finite() {
             return Err(ModelError::NonFinite);
@@ -176,7 +186,10 @@ impl Instance {
     /// Appends an object, returning its id.
     pub fn push_object(&mut self, attrs: Vec<f64>) -> Result<usize, ModelError> {
         if attrs.len() != self.dim {
-            return Err(ModelError::DimensionMismatch { expected: self.dim, found: attrs.len() });
+            return Err(ModelError::DimensionMismatch {
+                expected: self.dim,
+                found: attrs.len(),
+            });
         }
         if attrs.iter().any(|v| !v.is_finite()) {
             return Err(ModelError::NonFinite);
@@ -299,7 +312,9 @@ mod tests {
         let id = inst.push_object(vec![11.0, 3.0, 300.0]).unwrap();
         assert_eq!(id, 2);
         assert_eq!(inst.num_objects(), 3);
-        let qid = inst.push_query(TopKQuery::new(vec![-1.0, -1.0, 0.01], 2)).unwrap();
+        let qid = inst
+            .push_query(TopKQuery::new(vec![-1.0, -1.0, 0.01], 2))
+            .unwrap();
         assert_eq!(qid, 2);
         assert_eq!(inst.max_k(), 2);
         assert!(inst.pop_object().is_some());

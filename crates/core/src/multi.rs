@@ -61,12 +61,16 @@ impl<'a> MultiState<'a> {
         let m = instance.num_queries();
         let mut hit_by = vec![0u32; m];
         for ev in &evals {
-            for q in 0..m {
-                hit_by[q] += ev.is_hit(q) as u32;
+            for (q, count) in hit_by.iter_mut().enumerate() {
+                *count += ev.is_hit(q) as u32;
             }
         }
         let union_hits = hit_by.iter().filter(|&&c| c > 0).count();
-        MultiState { evals, hit_by, union_hits }
+        MultiState {
+            evals,
+            hit_by,
+            union_hits,
+        }
     }
 
     /// Union hit delta if target `ti` applied `s` (nothing committed).
@@ -131,7 +135,12 @@ fn multi_candidates(
                 continue;
             };
             let delta = state.union_delta(ti, &s);
-            out.push(MultiCandidate { target_idx: ti, strategy: s, cost_inc: c, union_delta: delta });
+            out.push(MultiCandidate {
+                target_idx: ti,
+                strategy: s,
+                cost_inc: c,
+                union_delta: delta,
+            });
         }
     }
     out
@@ -278,9 +287,9 @@ mod tests {
     fn union_hits_ground_truth(inst: &Instance, targets: &[usize]) -> usize {
         (0..inst.num_queries())
             .filter(|&q| {
-                targets.iter().any(|&t| {
-                    iq_topk::naive::hits(inst.objects(), &inst.queries()[q], t)
-                })
+                targets
+                    .iter()
+                    .any(|&t| iq_topk::naive::hits(inst.objects(), &inst.queries()[q], t))
             })
             .count()
     }
@@ -349,8 +358,16 @@ mod tests {
         let cost_a = WeightedEuclideanCost::new(vec![1000.0, 1.0]);
         let cost_b = WeightedEuclideanCost::new(vec![1.0, 1000.0]);
         let specs = [
-            TargetSpec { target: 0, cost_fn: &cost_a, bounds: StrategyBounds::unbounded(2) },
-            TargetSpec { target: 1, cost_fn: &cost_b, bounds: StrategyBounds::unbounded(2) },
+            TargetSpec {
+                target: 0,
+                cost_fn: &cost_a,
+                bounds: StrategyBounds::unbounded(2),
+            },
+            TargetSpec {
+                target: 1,
+                cost_fn: &cost_b,
+                bounds: StrategyBounds::unbounded(2),
+            },
         ];
         let before = union_hits_ground_truth(&inst, &[0, 1]);
         let tau = (before + 4).min(inst.num_queries());
@@ -401,8 +418,16 @@ mod tests {
         let idx = QueryIndex::build(&inst);
         let cost = EuclideanCost;
         let specs = [
-            TargetSpec { target: 0, cost_fn: &cost, bounds: StrategyBounds::unbounded(2) },
-            TargetSpec { target: 1, cost_fn: &cost, bounds: StrategyBounds::unbounded(2) },
+            TargetSpec {
+                target: 0,
+                cost_fn: &cost,
+                bounds: StrategyBounds::unbounded(2),
+            },
+            TargetSpec {
+                target: 1,
+                cost_fn: &cost,
+                bounds: StrategyBounds::unbounded(2),
+            },
         ];
         let r = multi_min_cost_iq(&inst, &idx, &specs, 1, 100);
         assert!(r.achieved);

@@ -8,9 +8,24 @@
 //! cost-per-hit ratio. Min-Cost stops at `τ` hits; Max-Hit stops when the
 //! budget `β` is exhausted (with a final fill pass over the remaining
 //! affordable candidates, Algorithm 4 lines 13–17).
+//!
+//! ## Deterministic parallel candidate scoring
+//!
+//! Scoring the candidate set is each iteration's hot loop, and every
+//! candidate is scored against the *same* pre-commit state — it is
+//! embarrassingly parallel. Evaluators whose scoring path is read-only
+//! (ESE: [`crate::ese::EvalContext`] + a frozen [`crate::ese::EvalCursor`])
+//! expose it via [`HitEvaluator::scorer`], and the search fans the
+//! candidate set out across [`SearchOptions::exec`] threads. Results come
+//! back **in candidate order** ([`crate::exec::ExecPolicy::map`]) and the
+//! committed winner is chosen by the same first-strictly-better rule, so
+//! reports are byte-identical at any thread count. Evaluators that need
+//! `&mut self` to score (RTA's temporary object mutation) simply return
+//! `None` and keep the sequential path — same candidates, same counters.
 
 use crate::cost::{CostFunction, StrategyBounds};
 use crate::ese::TargetEvaluator;
+use crate::exec::ExecPolicy;
 use crate::model::{ImprovementStrategy, Instance};
 use crate::subdomain::QueryIndex;
 use iq_geometry::Vector;
@@ -31,11 +46,21 @@ pub struct SearchOptions {
     /// evaluators stay tractable at large `|Q|` without changing the
     /// relative comparison.
     pub candidate_cap: Option<usize>,
+    /// Thread policy for candidate scoring (and, via the library entry
+    /// points, evaluator construction). Results are independent of the
+    /// thread count — see the module docs. Defaults to `IQ_THREADS` /
+    /// available parallelism.
+    pub exec: ExecPolicy,
 }
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        SearchOptions { max_iterations: 10_000, max_stalls: 3, candidate_cap: None }
+        SearchOptions {
+            max_iterations: 10_000,
+            max_stalls: 3,
+            candidate_cap: None,
+            exec: ExecPolicy::from_env(),
+        }
     }
 }
 
@@ -92,6 +117,21 @@ pub trait HitEvaluator {
     fn apply(&mut self, s: &ImprovementStrategy);
     /// The cumulative committed strategy.
     fn applied(&self) -> &ImprovementStrategy;
+    /// A thread-safe view for scoring candidates against the *current*
+    /// (pre-commit) state, when the evaluator supports one. `Some` opts
+    /// the evaluator into parallel candidate scoring; the default `None`
+    /// keeps the sequential `evaluate` path (required by evaluators whose
+    /// scoring mutates internal buffers, like RTA's).
+    fn scorer(&self) -> Option<&dyn CandidateScorer> {
+        None
+    }
+}
+
+/// Read-only candidate scoring: `H(p + applied + s)` from `&self`, safe to
+/// call from many threads at once. See [`HitEvaluator::scorer`].
+pub trait CandidateScorer: Sync {
+    /// `H(p + applied + s)` without committing.
+    fn score(&self, s: &ImprovementStrategy) -> usize;
 }
 
 impl HitEvaluator for TargetEvaluator<'_> {
@@ -115,6 +155,17 @@ impl HitEvaluator for TargetEvaluator<'_> {
     }
     fn applied(&self) -> &ImprovementStrategy {
         TargetEvaluator::applied(self)
+    }
+    fn scorer(&self) -> Option<&dyn CandidateScorer> {
+        Some(self)
+    }
+}
+
+impl CandidateScorer for TargetEvaluator<'_> {
+    fn score(&self, s: &ImprovementStrategy) -> usize {
+        // Fast ESE is `&self` against the shared EvalContext + the frozen
+        // cursor: concurrent calls are safe and bit-identical.
+        TargetEvaluator::evaluate(self, s)
     }
 }
 
@@ -157,14 +208,35 @@ fn candidates<E: HitEvaluator>(
             solved.truncate(cap);
         }
     }
+    // Count work before scoring so the metric is identical under the
+    // parallel and sequential paths (one evaluation per candidate, always).
+    *evaluated += solved.len();
+    let hits = score_all(ev, &solved, &opts.exec);
     solved
         .into_iter()
-        .map(|(query, strategy, cost_inc)| {
-            *evaluated += 1;
-            let hits_after = ev.evaluate(&strategy);
-            Candidate { query, strategy, cost_inc, hits_after }
+        .zip(hits)
+        .map(|((query, strategy, cost_inc), hits_after)| Candidate {
+            query,
+            strategy,
+            cost_inc,
+            hits_after,
         })
         .collect()
+}
+
+/// Scores every solved candidate, in order. Fans out across
+/// `exec` threads when the evaluator exposes a read-only scorer;
+/// otherwise scores sequentially through `&mut` evaluate. Both paths
+/// return hit counts positionally aligned with `solved`.
+fn score_all<E: HitEvaluator>(
+    ev: &mut E,
+    solved: &[(usize, Vector, f64)],
+    exec: &ExecPolicy,
+) -> Vec<usize> {
+    if let Some(scorer) = ev.scorer() {
+        return exec.map(solved, |_, (_, s, _)| scorer.score(s));
+    }
+    solved.iter().map(|(_, s, _)| ev.evaluate(s)).collect()
 }
 
 fn best_ratio(cands: &[Candidate]) -> Option<usize> {
@@ -193,7 +265,7 @@ pub fn min_cost_iq(
     bounds: &StrategyBounds,
     opts: &SearchOptions,
 ) -> IqReport {
-    let mut ev = TargetEvaluator::new(instance, index, target);
+    let mut ev = TargetEvaluator::new_with(instance, index, target, &opts.exec);
     run_min_cost(&mut ev, tau, cost_fn, bounds, opts)
 }
 
@@ -269,7 +341,7 @@ pub fn max_hit_iq(
     bounds: &StrategyBounds,
     opts: &SearchOptions,
 ) -> IqReport {
-    let mut ev = TargetEvaluator::new(instance, index, target);
+    let mut ev = TargetEvaluator::new_with(instance, index, target, &opts.exec);
     run_max_hit(&mut ev, budget, cost_fn, bounds, opts)
 }
 
@@ -390,9 +462,7 @@ mod tests {
         let idx = QueryIndex::build(&inst);
         let (cost, opts) = defaults();
         // Pick the most popular object; tau = its current hits.
-        let target = (0..30)
-            .max_by_key(|&t| inst.hit_count_naive(t))
-            .unwrap();
+        let target = (0..30).max_by_key(|&t| inst.hit_count_naive(t)).unwrap();
         let tau = inst.hit_count_naive(target);
         let bounds = StrategyBounds::unbounded(2);
         let report = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &opts);
@@ -435,8 +505,16 @@ mod tests {
         let bounds = StrategyBounds::unbounded(3).freeze(0).freeze(2);
         let tau = (inst.hit_count_naive(target) + 5).min(inst.num_queries());
         let r = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &opts);
-        assert!(r.strategy[0].abs() < 1e-6, "frozen attr 0 moved: {:?}", r.strategy);
-        assert!(r.strategy[2].abs() < 1e-6, "frozen attr 2 moved: {:?}", r.strategy);
+        assert!(
+            r.strategy[0].abs() < 1e-6,
+            "frozen attr 0 moved: {:?}",
+            r.strategy
+        );
+        assert!(
+            r.strategy[2].abs() < 1e-6,
+            "frozen attr 2 moved: {:?}",
+            r.strategy
+        );
         let improved = inst.with_strategy(target, &r.strategy);
         assert_eq!(improved.hit_count_naive(target), r.hits_after);
     }
@@ -528,14 +606,27 @@ mod tests {
         let bounds = StrategyBounds::unbounded(3);
         let target = 9;
         let tau = (inst.hit_count_naive(target) + 8).min(inst.num_queries());
-        let uncapped = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds,
-                                   &SearchOptions::default());
-        let capped_opts = SearchOptions { candidate_cap: Some(4), ..Default::default() };
+        let uncapped = min_cost_iq(
+            &inst,
+            &idx,
+            target,
+            tau,
+            &cost,
+            &bounds,
+            &SearchOptions::default(),
+        );
+        let capped_opts = SearchOptions {
+            candidate_cap: Some(4),
+            ..Default::default()
+        };
         let capped = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &capped_opts);
         assert!(uncapped.achieved && capped.achieved);
         // The cap trades a little quality for a lot of work.
         assert!(capped.candidates_evaluated <= uncapped.candidates_evaluated);
-        assert!(capped.cost <= uncapped.cost * 3.0 + 1e-9, "cap degraded cost too far");
+        assert!(
+            capped.cost <= uncapped.cost * 3.0 + 1e-9,
+            "cap degraded cost too far"
+        );
         let improved = inst.with_strategy(target, &capped.strategy);
         assert_eq!(improved.hit_count_naive(target), capped.hits_after);
     }
@@ -548,8 +639,15 @@ mod tests {
         let bounds = StrategyBounds::unbounded(3);
         let target = 6;
         let tau = (inst.hit_count_naive(target) + 5).min(inst.num_queries());
-        let r = min_cost_iq(&inst, &idx, target, tau, &L1Cost, &bounds,
-                            &SearchOptions::default());
+        let r = min_cost_iq(
+            &inst,
+            &idx,
+            target,
+            tau,
+            &L1Cost,
+            &bounds,
+            &SearchOptions::default(),
+        );
         assert!(r.achieved, "{r:?}");
         assert!((r.cost - r.strategy.norm_l1()).abs() < 1e-9);
         let improved = inst.with_strategy(target, &r.strategy);
@@ -565,11 +663,58 @@ mod tests {
         // should only ever decrease.
         let cost = AsymmetricLinearCost::new(vec![50.0, 50.0], vec![1.0, 1.0]);
         let bounds = StrategyBounds::unbounded(2);
-        let r = max_hit_iq(&inst, &idx, 4, 0.5, &cost, &bounds, &SearchOptions::default());
+        let r = max_hit_iq(
+            &inst,
+            &idx,
+            4,
+            0.5,
+            &cost,
+            &bounds,
+            &SearchOptions::default(),
+        );
         assert!(r.cost <= 0.5 + 1e-6);
-        assert!(r.strategy.iter().all(|&v| v <= 1e-9), "increased: {:?}", r.strategy);
+        assert!(
+            r.strategy.iter().all(|&v| v <= 1e-9),
+            "increased: {:?}",
+            r.strategy
+        );
         let improved = inst.with_strategy(4, &r.strategy);
         assert_eq!(improved.hit_count_naive(4), r.hits_after);
+    }
+
+    #[test]
+    fn candidates_evaluated_is_thread_count_invariant() {
+        // The work metric counts one evaluation per solved candidate,
+        // charged before scoring — so the parallel scorer path and the
+        // sequential fallback must report the same number.
+        let inst = random_instance(60, 80, 3, 4, 23);
+        let (cost, _) = defaults();
+        let bounds = StrategyBounds::unbounded(3);
+        let target = 31;
+        let tau = (inst.hit_count_naive(target) + 8).min(inst.num_queries());
+
+        let seq = SearchOptions {
+            exec: ExecPolicy::sequential(),
+            ..SearchOptions::default()
+        };
+        let idx = QueryIndex::build_with(&inst, &seq.exec);
+        let reference = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &seq);
+        assert!(reference.candidates_evaluated > 0);
+
+        for threads in [2usize, 4, 8] {
+            let par = SearchOptions {
+                exec: ExecPolicy::with_threads(threads),
+                ..SearchOptions::default()
+            };
+            let r = min_cost_iq(&inst, &idx, target, tau, &cost, &bounds, &par);
+            assert_eq!(
+                r.candidates_evaluated, reference.candidates_evaluated,
+                "work metric drifted at {threads} threads"
+            );
+            let mh = max_hit_iq(&inst, &idx, target, 0.8, &cost, &bounds, &par);
+            let mh_ref = max_hit_iq(&inst, &idx, target, 0.8, &cost, &bounds, &seq);
+            assert_eq!(mh.candidates_evaluated, mh_ref.candidates_evaluated);
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! A bloom filter keyed by `(object id)` → *appears in some candidate
 //! list* accelerates the §4.3 object-update path.
 
+use crate::exec::ExecPolicy;
 use crate::model::Instance;
 use iq_geometry::bsp;
 use iq_geometry::{Hyperplane, Vector};
@@ -56,12 +57,23 @@ pub struct QueryIndex {
 }
 
 impl QueryIndex {
-    /// Builds the index from an instance (signature construction).
+    /// Builds the index from an instance (signature construction), under
+    /// the environment's default [`ExecPolicy`] (`IQ_THREADS`).
     ///
     /// `K' = max_k + 1` candidates are kept per query: enough to know, for
     /// any target `t`, the k-th best object *excluding* `t` — the admission
     /// threshold of Eq. 6.
     pub fn build(instance: &Instance) -> Self {
+        Self::build_with(instance, &ExecPolicy::from_env())
+    }
+
+    /// [`Self::build`] with an explicit thread policy. The per-query
+    /// signatures (ordered top-`K'` candidate lists) are computed in
+    /// parallel — the dominant `O(m·n log K')` term — then merged into
+    /// subdomains **sequentially in query order**, so the resulting index
+    /// (subdomain ids, member order, R-tree insertion order) is identical
+    /// at any thread count.
+    pub fn build_with(instance: &Instance, exec: &ExecPolicy) -> Self {
         let kprime = instance.max_k() + 1;
         let m = instance.num_queries();
         let mut subdomain_of = vec![0u32; m];
@@ -69,13 +81,19 @@ impl QueryIndex {
         let mut by_toplist: HashMap<Vec<u32>, u32> = HashMap::new();
         let mut rtree = RTree::new(instance.dim().max(1));
 
-        for (qi, q) in instance.queries().iter().enumerate() {
-            let toplist: Vec<u32> = naive::top_k(instance.objects(), &q.weights, kprime)
+        let toplists: Vec<Vec<u32>> = exec.map(instance.queries(), |_, q| {
+            naive::top_k(instance.objects(), &q.weights, kprime)
                 .into_iter()
                 .map(|i| i as u32)
-                .collect();
+                .collect()
+        });
+
+        for ((qi, q), toplist) in instance.queries().iter().enumerate().zip(toplists) {
             let sd = *by_toplist.entry(toplist.clone()).or_insert_with(|| {
-                subdomains.push(SubdomainEntry { queries: Vec::new(), toplist });
+                subdomains.push(SubdomainEntry {
+                    queries: Vec::new(),
+                    toplist,
+                });
                 (subdomains.len() - 1) as u32
             });
             subdomains[sd as usize].queries.push(qi as u32);
@@ -227,7 +245,12 @@ impl QueryIndex {
     /// The k-th best object **excluding** `target` for a query, with its
     /// id — the Eq. 6 admission threshold. `None` when fewer than `k`
     /// non-target candidates exist (then the target trivially hits).
-    pub fn threshold_for(&self, instance: &Instance, query: usize, target: usize) -> Option<(usize, f64)> {
+    pub fn threshold_for(
+        &self,
+        instance: &Instance,
+        query: usize,
+        target: usize,
+    ) -> Option<(usize, f64)> {
         let q = &instance.queries()[query];
         let toplist = self.toplist_of(query);
         let mut seen = 0usize;
@@ -260,7 +283,9 @@ impl QueryIndex {
             .iter()
             .map(|s| s.queries.len() * 4 + s.toplist.len() * 4 + 48)
             .sum();
-        self.rtree.size_bytes() + subdomain_bytes + self.subdomain_of.len() * 4
+        self.rtree.size_bytes()
+            + subdomain_bytes
+            + self.subdomain_of.len() * 4
             + self.boundary_filter.size_bytes()
     }
 
@@ -278,11 +303,14 @@ impl QueryIndex {
                 return Err(format!("query {qi} missing from its subdomain member list"));
             }
             // The stored toplist must equal the query's actual ranking.
-            let actual: Vec<u32> =
-                naive::top_k(instance.objects(), &instance.queries()[qi].weights, self.kprime)
-                    .into_iter()
-                    .map(|i| i as u32)
-                    .collect();
+            let actual: Vec<u32> = naive::top_k(
+                instance.objects(),
+                &instance.queries()[qi].weights,
+                self.kprime,
+            )
+            .into_iter()
+            .map(|i| i as u32)
+            .collect();
             if actual != entry.toplist {
                 return Err(format!("query {qi} toplist stale"));
             }
@@ -329,11 +357,7 @@ mod tests {
         idx.check_invariants(&inst).unwrap();
         for sd in idx.subdomains() {
             let rep = sd.queries[0] as usize;
-            let want = naive::top_k(
-                inst.objects(),
-                &inst.queries()[rep].weights,
-                idx.kprime(),
-            );
+            let want = naive::top_k(inst.objects(), &inst.queries()[rep].weights, idx.kprime());
             for &qi in &sd.queries {
                 let got = naive::top_k(
                     inst.objects(),
@@ -342,6 +366,23 @@ mod tests {
                 );
                 assert_eq!(got, want);
             }
+        }
+    }
+
+    #[test]
+    fn build_identical_at_any_thread_count() {
+        let inst = random_instance(40, 120, 3, 5, 61);
+        let base = QueryIndex::build_with(&inst, &ExecPolicy::sequential());
+        for threads in [2usize, 3, 8] {
+            let idx = QueryIndex::build_with(&inst, &ExecPolicy::with_threads(threads));
+            idx.check_invariants(&inst).unwrap();
+            assert_eq!(idx.subdomain_of, base.subdomain_of, "threads = {threads}");
+            assert_eq!(idx.subdomains.len(), base.subdomains.len());
+            for (a, b) in idx.subdomains.iter().zip(&base.subdomains) {
+                assert_eq!(a.queries, b.queries, "threads = {threads}");
+                assert_eq!(a.toplist, b.toplist, "threads = {threads}");
+            }
+            assert_eq!(idx.by_toplist, base.by_toplist, "threads = {threads}");
         }
     }
 
@@ -431,12 +472,7 @@ mod tests {
         let mut rnd = lcg(123);
         let objects: Vec<Vec<f64>> = (0..50).map(|_| vec![rnd(), rnd()]).collect();
         let queries: Vec<TopKQuery> = (0..100)
-            .map(|_| {
-                TopKQuery::new(
-                    vec![0.5 + rnd() * 0.001, 0.5 + rnd() * 0.001],
-                    3,
-                )
-            })
+            .map(|_| TopKQuery::new(vec![0.5 + rnd() * 0.001, 0.5 + rnd() * 0.001], 3))
             .collect();
         let inst = Instance::new(objects, queries).unwrap();
         let idx = QueryIndex::build(&inst);

@@ -87,7 +87,10 @@ fn assign_to_subdomain(index: &mut QueryIndex, qid: usize, toplist: Vec<u32>) {
             for &o in &toplist {
                 index.boundary_filter.insert(&o);
             }
-            index.subdomains.push(SubdomainEntry { queries: Vec::new(), toplist: toplist.clone() });
+            index.subdomains.push(SubdomainEntry {
+                queries: Vec::new(),
+                toplist: toplist.clone(),
+            });
             index.by_toplist.insert(toplist, sd);
             sd
         }
@@ -186,7 +189,11 @@ pub fn remove_query(
         index.rtree.remove(&moved_weights, |&d| d == last);
         index.rtree.insert(moved_weights, qid);
         let sd = index.subdomain_of[last] as usize;
-        if let Some(pos) = index.subdomains[sd].queries.iter().position(|&q| q == last as u32) {
+        if let Some(pos) = index.subdomains[sd]
+            .queries
+            .iter()
+            .position(|&q| q == last as u32)
+        {
             index.subdomains[sd].queries[pos] = qid as u32;
         }
         index.subdomain_of[qid] = index.subdomain_of[last];
@@ -216,9 +223,9 @@ pub fn add_object(
             let weights = &instance.queries()[q as usize].weights;
             let new_score = score(instance.object(oid), weights);
             let tail_score = score(instance.object(tail as usize), weights);
-            let penetrates =
-                rank_cmp(new_score, oid, tail_score, tail as usize) == std::cmp::Ordering::Less
-                    || entry.toplist.len() < index.kprime;
+            let penetrates = rank_cmp(new_score, oid, tail_score, tail as usize)
+                == std::cmp::Ordering::Less
+                || entry.toplist.len() < index.kprime;
             if penetrates {
                 let toplist = compute_toplist(instance, weights, index.kprime);
                 stats.toplists_recomputed += 1;
@@ -395,7 +402,10 @@ mod tests {
             add_object(&mut inst, &mut index, attrs, &mut stats).unwrap();
             assert_equivalent_to_rebuild(&inst, &index);
         }
-        assert!(stats.toplists_recomputed > 0, "strong objects must disturb lists");
+        assert!(
+            stats.toplists_recomputed > 0,
+            "strong objects must disturb lists"
+        );
     }
 
     #[test]
@@ -437,8 +447,13 @@ mod tests {
             match step % 4 {
                 0 => {
                     let w: Vec<f64> = (0..2).map(|_| rnd()).collect();
-                    add_query(&mut inst, &mut index, TopKQuery::new(w, 1 + step % 3), &mut stats)
-                        .unwrap();
+                    add_query(
+                        &mut inst,
+                        &mut index,
+                        TopKQuery::new(w, 1 + step % 3),
+                        &mut stats,
+                    )
+                    .unwrap();
                 }
                 1 => {
                     let qid =

@@ -5,11 +5,26 @@
 use iq_core::baselines::RtaEvaluator;
 use iq_core::update::{add_object, add_query, remove_query, UpdateStats};
 use iq_core::{
-    max_hit_iq, min_cost_iq, EuclideanCost, HitEvaluator, Instance, QueryIndex, SearchOptions,
-    StrategyBounds, TargetEvaluator, TopKQuery,
+    max_hit_iq, min_cost_iq, EuclideanCost, ExecPolicy, HitEvaluator, Instance, IqReport,
+    QueryIndex, SearchOptions, StrategyBounds, TargetEvaluator, TopKQuery,
 };
 use iq_geometry::Vector;
 use proptest::prelude::*;
+
+/// Byte-exact comparison key for an [`IqReport`]: every float is compared
+/// by its bit pattern, so "parallel ≡ sequential" means identical down to
+/// the last rounding, not merely approximately equal.
+fn report_bits(r: &IqReport) -> (Vec<u64>, u64, usize, usize, usize, usize, bool) {
+    (
+        r.strategy.as_slice().iter().map(|v| v.to_bits()).collect(),
+        r.cost.to_bits(),
+        r.hits_before,
+        r.hits_after,
+        r.iterations,
+        r.candidates_evaluated,
+        r.achieved,
+    )
+}
 
 fn coord() -> impl Strategy<Value = f64> {
     // Lattice coordinates: ties and boundary cases occur constantly.
@@ -22,10 +37,7 @@ fn instance() -> impl Strategy<Value = Instance> {
         prop::collection::vec((prop::collection::vec(coord(), 3), 1usize..4), 1..30),
     )
         .prop_map(|(objects, qs)| {
-            let queries = qs
-                .into_iter()
-                .map(|(w, k)| TopKQuery::new(w, k))
-                .collect();
+            let queries = qs.into_iter().map(|(w, k)| TopKQuery::new(w, k)).collect();
             Instance::new(objects, queries).unwrap()
         })
 }
@@ -62,10 +74,10 @@ proptest! {
             prop_assert!(was != now);
             reported[*q] = Some(*now);
         }
-        for q in 0..inst.num_queries() {
+        for (q, &rep) in reported.iter().enumerate() {
             let was = iq_topk::naive::hits(inst.objects(), &inst.queries()[q], target);
             let now = iq_topk::naive::hits(improved.objects(), &improved.queries()[q], target);
-            match reported[q] {
+            match rep {
                 Some(r) => {
                     prop_assert_eq!(r, now, "query {} wrong direction", q);
                     prop_assert_ne!(was, now, "query {} reported but unchanged", q);
@@ -165,6 +177,47 @@ proptest! {
         prop_assert!((sum - r.total_cost).abs() < 1e-9);
         if r.achieved {
             prop_assert!(r.hits_after >= tau);
+        }
+    }
+
+    #[test]
+    fn parallel_search_equals_sequential(
+        inst in instance(),
+        tsel in any::<usize>(),
+        extra in 1usize..6,
+        budget in 0.0f64..1.0,
+    ) {
+        let target = tsel % inst.num_objects();
+        let bounds = StrategyBounds::unbounded(3);
+        let cost = EuclideanCost;
+
+        // Sequential reference: one thread everywhere (index build, ESE
+        // context construction, candidate scoring).
+        let seq = SearchOptions {
+            exec: ExecPolicy::sequential(),
+            ..SearchOptions::default()
+        };
+        let index = QueryIndex::build_with(&inst, &seq.exec);
+        let tau = (inst.hit_count_naive(target) + extra).min(inst.num_queries());
+        let mc_ref = min_cost_iq(&inst, &index, target, tau, &cost, &bounds, &seq);
+        let mh_ref = max_hit_iq(&inst, &index, target, budget, &cost, &bounds, &seq);
+
+        for threads in [2usize, 3, 8] {
+            let par = SearchOptions {
+                exec: ExecPolicy::with_threads(threads),
+                ..SearchOptions::default()
+            };
+            let pindex = QueryIndex::build_with(&inst, &par.exec);
+            let mc = min_cost_iq(&inst, &pindex, target, tau, &cost, &bounds, &par);
+            let mh = max_hit_iq(&inst, &pindex, target, budget, &cost, &bounds, &par);
+            prop_assert_eq!(
+                report_bits(&mc), report_bits(&mc_ref),
+                "min-cost report drifted at {} threads", threads
+            );
+            prop_assert_eq!(
+                report_bits(&mh), report_bits(&mh_ref),
+                "max-hit report drifted at {} threads", threads
+            );
         }
     }
 

@@ -141,7 +141,10 @@ pub fn table_from_csv(text: &str, has_header: bool) -> Result<Table, DbError> {
         header
             .into_iter()
             .zip(&types)
-            .map(|(name, ty)| Column { name, ty: ty.unwrap_or(ColumnType::Text) })
+            .map(|(name, ty)| Column {
+                name,
+                ty: ty.unwrap_or(ColumnType::Text),
+            })
             .collect(),
     )?;
     let mut table = Table::new(schema);
@@ -190,12 +193,20 @@ mod tests {
 
     #[test]
     fn type_inference() {
-        let t = table_from_csv("id,price,name,active\n1,9.5,cam,true\n2,10,led,false\n", true)
-            .unwrap();
+        let t = table_from_csv(
+            "id,price,name,active\n1,9.5,cam,true\n2,10,led,false\n",
+            true,
+        )
+        .unwrap();
         let tys: Vec<ColumnType> = t.schema.columns().iter().map(|c| c.ty).collect();
         assert_eq!(
             tys,
-            vec![ColumnType::Int, ColumnType::Float, ColumnType::Text, ColumnType::Bool]
+            vec![
+                ColumnType::Int,
+                ColumnType::Float,
+                ColumnType::Text,
+                ColumnType::Bool
+            ]
         );
         assert_eq!(t.len(), 2);
         assert_eq!(t.row(0)[1], Value::Float(9.5));

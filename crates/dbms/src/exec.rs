@@ -42,7 +42,13 @@ impl QueryResult {
             .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for r in rendered {
             let line: Vec<String> = r
@@ -88,9 +94,7 @@ pub fn eval_predicate(pred: &Predicate, table: &Table, row: &[Value]) -> Result<
         Predicate::And(a, b) => {
             Ok(eval_predicate(a, table, row)? && eval_predicate(b, table, row)?)
         }
-        Predicate::Or(a, b) => {
-            Ok(eval_predicate(a, table, row)? || eval_predicate(b, table, row)?)
-        }
+        Predicate::Or(a, b) => Ok(eval_predicate(a, table, row)? || eval_predicate(b, table, row)?),
         Predicate::Not(a) => Ok(!eval_predicate(a, table, row)?),
     }
 }
@@ -129,7 +133,9 @@ pub fn select(table: &Table, stmt: &SelectStmt) -> Result<QueryResult, DbError> 
             ));
         }
         if stmt.order_by.is_some() {
-            return Err(DbError::Parse("ORDER BY is meaningless with aggregates".into()));
+            return Err(DbError::Parse(
+                "ORDER BY is meaningless with aggregates".into(),
+            ));
         }
         let rows = matching_rows(table, stmt.predicate.as_ref())?;
         let mut columns = Vec::new();
@@ -142,7 +148,10 @@ pub fn select(table: &Table, stmt: &SelectStmt) -> Result<QueryResult, DbError> 
             columns.push(label);
             out.push(value);
         }
-        return Ok(QueryResult { columns, rows: vec![out] });
+        return Ok(QueryResult {
+            columns,
+            rows: vec![out],
+        });
     }
 
     // Resolve projection.
@@ -152,7 +161,9 @@ pub fn select(table: &Table, stmt: &SelectStmt) -> Result<QueryResult, DbError> 
         stmt.columns
             .iter()
             .map(|c| {
-                let SelectItem::Column(name) = c else { unreachable!() };
+                let SelectItem::Column(name) = c else {
+                    unreachable!()
+                };
                 table
                     .schema
                     .index_of(name)
@@ -191,7 +202,10 @@ pub fn select(table: &Table, stmt: &SelectStmt) -> Result<QueryResult, DbError> 
         .into_iter()
         .map(|r| proj.iter().map(|&c| table.row(r)[c].clone()).collect())
         .collect();
-    Ok(QueryResult { columns, rows: out_rows })
+    Ok(QueryResult {
+        columns,
+        rows: out_rows,
+    })
 }
 
 /// Evaluates one aggregate over the selected rows. NULLs are skipped for
@@ -234,10 +248,7 @@ fn eval_aggregate(
                         let mut total = 0.0;
                         for v in &vals {
                             total += v.as_f64().ok_or_else(|| {
-                                DbError::Parse(format!(
-                                    "{}: column is not numeric",
-                                    agg.name()
-                                ))
+                                DbError::Parse(format!("{}: column is not numeric", agg.name()))
                             })?;
                         }
                         if agg == Aggregate::Avg {
@@ -250,10 +261,7 @@ fn eval_aggregate(
                         let mut best = vals[0].clone();
                         for v in &vals[1..] {
                             let ord = v.compare(&best).ok_or_else(|| {
-                                DbError::Parse(format!(
-                                    "{}: incomparable values",
-                                    agg.name()
-                                ))
+                                DbError::Parse(format!("{}: incomparable values", agg.name()))
                             })?;
                             let take = if agg == Aggregate::Min {
                                 ord == Ordering::Less
@@ -284,9 +292,18 @@ mod tests {
 
     fn cams() -> Table {
         let schema = Schema::new(vec![
-            Column { name: "id".into(), ty: ColumnType::Int },
-            Column { name: "price".into(), ty: ColumnType::Float },
-            Column { name: "name".into(), ty: ColumnType::Text },
+            Column {
+                name: "id".into(),
+                ty: ColumnType::Int,
+            },
+            Column {
+                name: "price".into(),
+                ty: ColumnType::Float,
+            },
+            Column {
+                name: "name".into(),
+                ty: ColumnType::Text,
+            },
         ])
         .unwrap();
         let mut t = Table::new(schema);
@@ -342,7 +359,10 @@ mod tests {
 
     #[test]
     fn not_and_ne() {
-        let r = run(&cams(), "SELECT id FROM cams WHERE NOT id = 2 AND name <> 'c'");
+        let r = run(
+            &cams(),
+            "SELECT id FROM cams WHERE NOT id = 2 AND name <> 'c'",
+        );
         assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
     }
 
@@ -359,7 +379,11 @@ mod tests {
 
     #[test]
     fn null_comparisons_false() {
-        let schema = Schema::new(vec![Column { name: "x".into(), ty: ColumnType::Int }]).unwrap();
+        let schema = Schema::new(vec![Column {
+            name: "x".into(),
+            ty: ColumnType::Int,
+        }])
+        .unwrap();
         let mut t = Table::new(schema);
         t.insert(vec![Value::Null]).unwrap();
         t.insert(vec![Value::Int(1)]).unwrap();
@@ -390,7 +414,11 @@ mod tests {
 
     #[test]
     fn aggregates_respect_where_and_nulls() {
-        let schema = Schema::new(vec![Column { name: "x".into(), ty: ColumnType::Int }]).unwrap();
+        let schema = Schema::new(vec![Column {
+            name: "x".into(),
+            ty: ColumnType::Int,
+        }])
+        .unwrap();
         let mut t = Table::new(schema);
         t.insert(vec![Value::Int(5)]).unwrap();
         t.insert(vec![Value::Null]).unwrap();

@@ -43,7 +43,9 @@ fn numeric(v: &Value, what: &str) -> Result<f64, DbError> {
 pub fn build_instance(objects: &Table, queries: &Table) -> Result<(Instance, Vec<usize>), DbError> {
     let attrs = attribute_columns(objects);
     if attrs.is_empty() {
-        return Err(DbError::Improve("object table has no numeric attribute columns".into()));
+        return Err(DbError::Improve(
+            "object table has no numeric attribute columns".into(),
+        ));
     }
     let d = attrs.len();
 
@@ -82,16 +84,24 @@ pub fn build_instance(objects: &Table, queries: &Table) -> Result<(Instance, Vec
         }
         let k = match &row[kcol] {
             Value::Int(k) if *k >= 1 => *k as usize,
-            other => return Err(DbError::Improve(format!("k must be a positive INT, got {other}"))),
+            other => {
+                return Err(DbError::Improve(format!(
+                    "k must be a positive INT, got {other}"
+                )))
+            }
         };
         query_rows.push(TopKQuery::new(w, k));
     }
-    let instance = Instance::new(object_rows, query_rows)
-        .map_err(|e| DbError::Improve(e.to_string()))?;
+    let instance =
+        Instance::new(object_rows, query_rows).map_err(|e| DbError::Improve(e.to_string()))?;
     Ok((instance, attrs))
 }
 
-fn bounds_for(stmt: &ImproveStmt, objects: &Table, attrs: &[usize]) -> Result<StrategyBounds, DbError> {
+fn bounds_for(
+    stmt: &ImproveStmt,
+    objects: &Table,
+    attrs: &[usize],
+) -> Result<StrategyBounds, DbError> {
     let mut bounds = StrategyBounds::unbounded(attrs.len());
     for col in &stmt.freeze {
         let idx = objects
@@ -99,7 +109,9 @@ fn bounds_for(stmt: &ImproveStmt, objects: &Table, attrs: &[usize]) -> Result<St
             .index_of(col)
             .ok_or_else(|| DbError::UnknownColumn(col.clone()))?;
         let pos = attrs.iter().position(|&a| a == idx).ok_or_else(|| {
-            DbError::Improve(format!("FREEZE column `{col}` is not an improvable attribute"))
+            DbError::Improve(format!(
+                "FREEZE column `{col}` is not an improvable attribute"
+            ))
         })?;
         bounds = bounds.freeze(pos);
     }
@@ -109,19 +121,25 @@ fn bounds_for(stmt: &ImproveStmt, objects: &Table, attrs: &[usize]) -> Result<St
 /// Executes an IMPROVE statement against the object table in place (for
 /// `APPLY`) and returns a result set: one row per target with the
 /// per-attribute deltas, cost, and hit counts.
-pub fn improve(objects: &mut Table, queries: &Table, stmt: &ImproveStmt) -> Result<QueryResult, DbError> {
+pub fn improve(
+    objects: &mut Table,
+    queries: &Table,
+    stmt: &ImproveStmt,
+) -> Result<QueryResult, DbError> {
     let (instance, attrs) = build_instance(objects, queries)?;
     let targets = matching_rows(objects, stmt.predicate.as_ref())?;
     if targets.is_empty() {
-        return Err(DbError::Improve("no rows match the target predicate".into()));
+        return Err(DbError::Improve(
+            "no rows match the target predicate".into(),
+        ));
     }
     let bounds = bounds_for(stmt, objects, &attrs)?;
     let cost_fn: &dyn CostFunction = match stmt.cost {
         CostKind::Euclidean => &EuclideanCost,
         CostKind::L1 => &L1Cost,
     };
-    let index = QueryIndex::build(&instance);
     let opts = SearchOptions::default();
+    let index = QueryIndex::build_with(&instance, &opts.exec);
 
     // Run the appropriate search.
     let (strategies, costs, hits_before, hits_after, achieved) = if targets.len() == 1 {
@@ -144,13 +162,23 @@ pub fn improve(objects: &mut Table, queries: &Table, stmt: &ImproveStmt) -> Resu
     } else {
         let specs: Vec<TargetSpec<'_>> = targets
             .iter()
-            .map(|&t| TargetSpec { target: t, cost_fn, bounds: bounds.clone() })
+            .map(|&t| TargetSpec {
+                target: t,
+                cost_fn,
+                bounds: bounds.clone(),
+            })
             .collect();
         let r = match stmt.goal {
             ImproveGoal::MinCost(tau) => multi_min_cost_iq(&instance, &index, &specs, tau, 10_000),
             ImproveGoal::MaxHit(beta) => multi_max_hit_iq(&instance, &index, &specs, beta, 10_000),
         };
-        (r.strategies, r.costs, r.hits_before, r.hits_after, r.achieved)
+        (
+            r.strategies,
+            r.costs,
+            r.hits_before,
+            r.hits_after,
+            r.achieved,
+        )
     };
 
     // Optionally write improved attributes back.
@@ -198,10 +226,22 @@ mod tests {
 
     fn object_table() -> Table {
         let schema = Schema::new(vec![
-            Column { name: "id".into(), ty: ColumnType::Int },
-            Column { name: "price".into(), ty: ColumnType::Float },
-            Column { name: "weight".into(), ty: ColumnType::Float },
-            Column { name: "label".into(), ty: ColumnType::Text },
+            Column {
+                name: "id".into(),
+                ty: ColumnType::Int,
+            },
+            Column {
+                name: "price".into(),
+                ty: ColumnType::Float,
+            },
+            Column {
+                name: "weight".into(),
+                ty: ColumnType::Float,
+            },
+            Column {
+                name: "label".into(),
+                ty: ColumnType::Text,
+            },
         ])
         .unwrap();
         let mut t = Table::new(schema);
@@ -226,9 +266,18 @@ mod tests {
 
     fn query_table() -> Table {
         let schema = Schema::new(vec![
-            Column { name: "w1".into(), ty: ColumnType::Float },
-            Column { name: "w2".into(), ty: ColumnType::Float },
-            Column { name: "k".into(), ty: ColumnType::Int },
+            Column {
+                name: "w1".into(),
+                ty: ColumnType::Float,
+            },
+            Column {
+                name: "w2".into(),
+                ty: ColumnType::Float,
+            },
+            Column {
+                name: "k".into(),
+                ty: ColumnType::Int,
+            },
         ])
         .unwrap();
         let mut t = Table::new(schema);
@@ -240,7 +289,8 @@ mod tests {
             (0.3, 0.7, 2),
             (0.6, 0.4, 1),
         ] {
-            t.insert(vec![Value::Float(w1), Value::Float(w2), Value::Int(k)]).unwrap();
+            t.insert(vec![Value::Float(w1), Value::Float(w2), Value::Int(k)])
+                .unwrap();
         }
         t
     }
@@ -330,18 +380,30 @@ mod tests {
         let mut objs = object_table();
         let qt = query_table();
         let stmt = improve_stmt("IMPROVE objs USING prefs WHERE id = 99 MINCOST 1");
-        assert!(matches!(improve(&mut objs, &qt, &stmt), Err(DbError::Improve(_))));
+        assert!(matches!(
+            improve(&mut objs, &qt, &stmt),
+            Err(DbError::Improve(_))
+        ));
         let stmt = improve_stmt("IMPROVE objs USING prefs MINCOST 1 FREEZE label");
         assert!(improve(&mut objs, &qt, &stmt).is_err());
         // Query table missing k.
         let bad = Table::new(
             Schema::new(vec![
-                Column { name: "w1".into(), ty: ColumnType::Float },
-                Column { name: "w2".into(), ty: ColumnType::Float },
+                Column {
+                    name: "w1".into(),
+                    ty: ColumnType::Float,
+                },
+                Column {
+                    name: "w2".into(),
+                    ty: ColumnType::Float,
+                },
             ])
             .unwrap(),
         );
         let stmt = improve_stmt("IMPROVE objs USING bad MINCOST 1");
-        assert!(matches!(improve(&mut objs, &bad, &stmt), Err(DbError::Improve(_))));
+        assert!(matches!(
+            improve(&mut objs, &bad, &stmt),
+            Err(DbError::Improve(_))
+        ));
     }
 }

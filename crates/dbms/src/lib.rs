@@ -80,7 +80,11 @@ impl fmt::Display for DbError {
             DbError::ArityMismatch { expected, found } => {
                 write!(f, "expected {expected} values, found {found}")
             }
-            DbError::TypeMismatch { column, expected, found } => {
+            DbError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => {
                 write!(f, "column `{column}` expects {expected}, got {found}")
             }
             DbError::Improve(m) => write!(f, "IMPROVE error: {m}"),

@@ -372,7 +372,9 @@ impl P {
     fn ident(&mut self) -> Result<String, DbError> {
         match self.bump() {
             Some(Tok::Ident(w)) => Ok(w),
-            other => Err(DbError::Parse(format!("expected identifier, got {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -433,7 +435,11 @@ impl P {
             Some(Tok::Symbol("<=")) => CompareOp::Le,
             Some(Tok::Symbol(">")) => CompareOp::Gt,
             Some(Tok::Symbol(">=")) => CompareOp::Ge,
-            other => return Err(DbError::Parse(format!("expected comparison, got {other:?}"))),
+            other => {
+                return Err(DbError::Parse(format!(
+                    "expected comparison, got {other:?}"
+                )))
+            }
         };
         let value = self.literal()?;
         Ok(Predicate::Compare { column, op, value })
@@ -549,7 +555,13 @@ impl P {
         } else {
             None
         };
-        Ok(Statement::Select(SelectStmt { columns, table, predicate, order_by, limit }))
+        Ok(Statement::Select(SelectStmt {
+            columns,
+            table,
+            predicate,
+            order_by,
+            limit,
+        }))
     }
 
     fn update(&mut self) -> Result<Statement, DbError> {
@@ -569,7 +581,11 @@ impl P {
         } else {
             None
         };
-        Ok(Statement::Update { table, sets, predicate })
+        Ok(Statement::Update {
+            table,
+            sets,
+            predicate,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement, DbError> {
@@ -662,7 +678,11 @@ pub fn parse(input: &str) -> Result<Statement, DbError> {
             }
         };
         let has_header = !p.eat_keyword("NOHEADER");
-        Statement::Copy { table, path, has_header }
+        Statement::Copy {
+            table,
+            path,
+            has_header,
+        }
     } else if p.eat_keyword("DROP") {
         p.expect_keyword("TABLE")?;
         Statement::Drop { name: p.ident()? }
@@ -799,8 +819,8 @@ mod tests {
 
     #[test]
     fn aggregate_projection() {
-        let s = parse("SELECT COUNT(*), AVG(price), MIN(price), MAX(price), SUM(id) FROM t")
-            .unwrap();
+        let s =
+            parse("SELECT COUNT(*), AVG(price), MIN(price), MAX(price), SUM(id) FROM t").unwrap();
         match s {
             Statement::Select(sel) => {
                 assert_eq!(sel.columns.len(), 5);
@@ -827,7 +847,11 @@ mod tests {
     fn update_statement() {
         let s = parse("UPDATE cams SET price = 199.0, name = 'sale' WHERE id = 1").unwrap();
         match s {
-            Statement::Update { table, sets, predicate } => {
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
                 assert_eq!(table, "cams");
                 assert_eq!(sets.len(), 2);
                 assert_eq!(sets[0], ("price".to_string(), Value::Float(199.0)));
@@ -850,7 +874,13 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let s = parse("DELETE FROM cams").unwrap();
-        assert!(matches!(s, Statement::Delete { predicate: None, .. }));
+        assert!(matches!(
+            s,
+            Statement::Delete {
+                predicate: None,
+                ..
+            }
+        ));
         assert!(parse("DELETE cams").is_err());
     }
 
@@ -866,7 +896,13 @@ mod tests {
             }
         );
         let s = parse("COPY cars FROM 'x.csv' NOHEADER").unwrap();
-        assert!(matches!(s, Statement::Copy { has_header: false, .. }));
+        assert!(matches!(
+            s,
+            Statement::Copy {
+                has_header: false,
+                ..
+            }
+        ));
         assert!(parse("COPY cars FROM cars_csv").is_err());
     }
 

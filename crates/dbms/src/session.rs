@@ -90,7 +90,11 @@ impl Session {
                     .ok_or_else(|| DbError::UnknownTable(stmt.table.clone()))?;
                 Ok(Outcome::Rows(select(t, &stmt)?))
             }
-            Statement::Update { table, sets, predicate } => {
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
                 let t = self
                     .tables
                     .get_mut(&table.to_ascii_lowercase())
@@ -121,7 +125,11 @@ impl Session {
                 let rows = crate::exec::matching_rows(t, predicate.as_ref())?;
                 Ok(Outcome::Deleted(t.remove_rows(&rows)))
             }
-            Statement::Copy { table, path, has_header } => {
+            Statement::Copy {
+                table,
+                path,
+                has_header,
+            } => {
                 let key = table.to_ascii_lowercase();
                 if self.tables.contains_key(&key) {
                     return Err(DbError::TableExists(table));
@@ -152,7 +160,9 @@ impl Session {
                     .tables
                     .get_mut(&stmt.table.to_ascii_lowercase())
                     .ok_or_else(|| DbError::UnknownTable(stmt.table.clone()))?;
-                Ok(Outcome::Rows(crate::iqext::improve(objects, &queries, &stmt)?))
+                Ok(Outcome::Rows(crate::iqext::improve(
+                    objects, &queries, &stmt,
+                )?))
             }
         }
     }
@@ -174,12 +184,14 @@ mod tests {
 
     fn session_with_data() -> Session {
         let mut s = Session::new();
-        s.execute("CREATE TABLE cams (id INT, res FLOAT, price FLOAT)").unwrap();
+        s.execute("CREATE TABLE cams (id INT, res FLOAT, price FLOAT)")
+            .unwrap();
         s.execute(
             "INSERT INTO cams VALUES (1, 0.4, 0.9), (2, 0.6, 0.4), (3, 0.2, 0.2), (4, 0.8, 0.7)",
         )
         .unwrap();
-        s.execute("CREATE TABLE prefs (w1 FLOAT, w2 FLOAT, k INT)").unwrap();
+        s.execute("CREATE TABLE prefs (w1 FLOAT, w2 FLOAT, k INT)")
+            .unwrap();
         s.execute(
             "INSERT INTO prefs VALUES (0.8, 0.2, 1), (0.5, 0.5, 1), (0.2, 0.8, 2), (0.6, 0.4, 1)",
         )
@@ -190,7 +202,10 @@ mod tests {
     #[test]
     fn end_to_end_select() {
         let mut s = session_with_data();
-        match s.execute("SELECT id FROM cams WHERE price < 0.5 ORDER BY id").unwrap() {
+        match s
+            .execute("SELECT id FROM cams WHERE price < 0.5 ORDER BY id")
+            .unwrap()
+        {
             Outcome::Rows(r) => {
                 assert_eq!(r.rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
             }
@@ -210,7 +225,10 @@ mod tests {
             DbError::Improve(msg) => assert!(msg.contains("FREEZE")),
             other => panic!("{other:?}"),
         }
-        match s.execute("IMPROVE cams USING prefs WHERE id = 1 MINCOST 2 APPLY").unwrap() {
+        match s
+            .execute("IMPROVE cams USING prefs WHERE id = 1 MINCOST 2 APPLY")
+            .unwrap()
+        {
             Outcome::Rows(r) => {
                 assert!(r.columns.contains(&"delta_res".to_string()));
                 assert_eq!(r.rows.len(), 1);
@@ -218,7 +236,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // The APPLY persisted: the row changed.
-        match s.execute("SELECT res, price FROM cams WHERE id = 1").unwrap() {
+        match s
+            .execute("SELECT res, price FROM cams WHERE id = 1")
+            .unwrap()
+        {
             Outcome::Rows(r) => {
                 assert_ne!(r.rows[0], vec![Value::Float(0.4), Value::Float(0.9)]);
             }
@@ -237,7 +258,10 @@ mod tests {
         assert_eq!(s.table_names(), vec!["t"]);
         s.execute("DROP TABLE t").unwrap();
         assert!(s.table_names().is_empty());
-        assert!(matches!(s.execute("DROP TABLE t"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(
+            s.execute("DROP TABLE t"),
+            Err(DbError::UnknownTable(_))
+        ));
         assert!(matches!(
             s.execute("SELECT * FROM nope"),
             Err(DbError::UnknownTable(_))
@@ -252,7 +276,8 @@ mod tests {
     fn update_and_delete() {
         let mut s = session_with_data();
         assert_eq!(
-            s.execute("UPDATE cams SET price = 0.99 WHERE id <= 2").unwrap(),
+            s.execute("UPDATE cams SET price = 0.99 WHERE id <= 2")
+                .unwrap(),
             Outcome::Updated(2)
         );
         match s.execute("SELECT price FROM cams WHERE id = 1").unwrap() {
@@ -282,7 +307,11 @@ mod tests {
         use crate::value::ColumnType;
         let mut s = Session::new();
         let mut t = Table::new(
-            Schema::new(vec![Column { name: "x".into(), ty: ColumnType::Int }]).unwrap(),
+            Schema::new(vec![Column {
+                name: "x".into(),
+                ty: ColumnType::Int,
+            }])
+            .unwrap(),
         );
         t.insert(vec![Value::Int(7)]).unwrap();
         s.register("Bulk", t);
@@ -329,7 +358,9 @@ mod tests {
             Err(DbError::TableExists(_))
         ));
         // Missing file surfaces cleanly.
-        assert!(s.execute("COPY nope FROM '/definitely/missing.csv'").is_err());
+        assert!(s
+            .execute("COPY nope FROM '/definitely/missing.csv'")
+            .is_err());
     }
 
     #[test]

@@ -76,7 +76,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -171,9 +174,18 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::new(vec![
-            Column { name: "id".into(), ty: ColumnType::Int },
-            Column { name: "price".into(), ty: ColumnType::Float },
-            Column { name: "name".into(), ty: ColumnType::Text },
+            Column {
+                name: "id".into(),
+                ty: ColumnType::Int,
+            },
+            Column {
+                name: "price".into(),
+                ty: ColumnType::Float,
+            },
+            Column {
+                name: "name".into(),
+                ty: ColumnType::Text,
+            },
         ])
         .unwrap()
     }
@@ -181,8 +193,14 @@ mod tests {
     #[test]
     fn duplicate_columns_rejected() {
         let r = Schema::new(vec![
-            Column { name: "a".into(), ty: ColumnType::Int },
-            Column { name: "A".into(), ty: ColumnType::Float },
+            Column {
+                name: "a".into(),
+                ty: ColumnType::Int,
+            },
+            Column {
+                name: "A".into(),
+                ty: ColumnType::Float,
+            },
         ]);
         assert!(matches!(r, Err(DbError::DuplicateColumn(_))));
     }
@@ -190,8 +208,12 @@ mod tests {
     #[test]
     fn insert_and_coerce() {
         let mut t = Table::new(schema());
-        t.insert(vec![Value::Int(1), Value::Int(100), Value::Text("cam".into())])
-            .unwrap();
+        t.insert(vec![
+            Value::Int(1),
+            Value::Int(100),
+            Value::Text("cam".into()),
+        ])
+        .unwrap();
         assert_eq!(t.row(0)[1], Value::Float(100.0)); // INT coerced
         assert_eq!(t.len(), 1);
     }
@@ -204,7 +226,11 @@ mod tests {
             Err(DbError::ArityMismatch { .. })
         ));
         assert!(matches!(
-            t.insert(vec![Value::Text("x".into()), Value::Float(1.0), Value::Null]),
+            t.insert(vec![
+                Value::Text("x".into()),
+                Value::Float(1.0),
+                Value::Null
+            ]),
             Err(DbError::TypeMismatch { .. })
         ));
     }
@@ -220,7 +246,8 @@ mod tests {
     #[test]
     fn update_cell_typechecks() {
         let mut t = Table::new(schema());
-        t.insert(vec![Value::Int(1), Value::Float(2.0), Value::Null]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Float(2.0), Value::Null])
+            .unwrap();
         t.update_cell(0, 1, Value::Float(9.0)).unwrap();
         assert_eq!(t.row(0)[1], Value::Float(9.0));
         assert!(t.update_cell(0, 0, Value::Text("no".into())).is_err());

@@ -123,9 +123,18 @@ mod tests {
 
     #[test]
     fn numeric_cross_comparison() {
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(1).compare(&Value::Float(1.5)), Some(Ordering::Less));
-        assert_eq!(Value::Float(2.5).compare(&Value::Int(2)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(1).compare(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(2.5).compare(&Value::Int(2)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -140,7 +149,10 @@ mod tests {
             Value::Text("a".into()).compare(&Value::Text("b".into())),
             Some(Ordering::Less)
         );
-        assert_eq!(Value::Bool(false).compare(&Value::Bool(true)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Bool(false).compare(&Value::Bool(true)),
+            Some(Ordering::Less)
+        );
         // Cross-kind non-numeric comparison is undefined.
         assert_eq!(Value::Text("1".into()).compare(&Value::Int(1)), None);
     }

@@ -17,7 +17,8 @@ fn fresh_session(rows: &[(i64, f64)]) -> Session {
     let mut s = Session::new();
     s.execute("CREATE TABLE t (id INT, x FLOAT)").unwrap();
     for &(id, x) in rows {
-        s.execute(&format!("INSERT INTO t VALUES ({id}, {x:.6})")).unwrap();
+        s.execute(&format!("INSERT INTO t VALUES ({id}, {x:.6})"))
+            .unwrap();
     }
     s
 }

@@ -195,7 +195,10 @@ mod tests {
     #[test]
     fn eval_arithmetic() {
         // 2 * p1 + w1 - 3
-        let e = Expr::c(2.0).mul(Expr::attr(0)).add(Expr::weight(0)).sub(Expr::c(3.0));
+        let e = Expr::c(2.0)
+            .mul(Expr::attr(0))
+            .add(Expr::weight(0))
+            .sub(Expr::c(3.0));
         assert_eq!(e.eval(&[5.0], &[7.0]), 14.0);
     }
 

@@ -43,7 +43,11 @@ impl GenericFamily {
             offsets.push(total);
             total += m.dim();
         }
-        GenericFamily { members, offsets, total_dim: total }
+        GenericFamily {
+            members,
+            offsets,
+            total_dim: total,
+        }
     }
 
     /// Number of member utility functions.
@@ -110,10 +114,7 @@ mod tests {
         // u (Eq. 19): sqrt(w1·Price) + w2·Capacity/MPG
         // v (Eq. 26): MPG/(w1·Price) + w2·Capacity²
         // (attributes: p1 = Price, p2 = MPG, p3 = Capacity)
-        let fam = family(&[
-            "sqrt(w1 * p1) + w2 * p3 / p2",
-            "p2 / (w1 * p1) + w2 * p3^2",
-        ]);
+        let fam = family(&["sqrt(w1 * p1) + w2 * p3 / p2", "p2 / (w1 * p1) + w2 * p3^2"]);
         assert_eq!(fam.num_members(), 2);
         assert_eq!(fam.dim(), 4);
 

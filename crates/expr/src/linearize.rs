@@ -48,7 +48,10 @@ impl fmt::Display for LinearizeError {
                 write!(f, "factor `{e}` mixes weights and attributes inseparably")
             }
             LinearizeError::SumDenominator(e) => {
-                write!(f, "denominator `{e}` is a sum; divide by a single product instead")
+                write!(
+                    f,
+                    "denominator `{e}` is a sum; divide by a single product instead"
+                )
             }
             LinearizeError::PowerTooLarge(n) => {
                 write!(f, "refusing to expand a sum raised to the {n}-th power")
@@ -93,10 +96,17 @@ impl LinearizedUtility {
                 terms[pos].weight_expr = old.add(w);
             } else {
                 keys.push(key);
-                terms.push(LinearTerm { weight_expr: w, attr_expr: a });
+                terms.push(LinearTerm {
+                    weight_expr: w,
+                    attr_expr: a,
+                });
             }
         }
-        Ok(LinearizedUtility { terms, monotone_stripped: stripped, original: expr.clone() })
+        Ok(LinearizedUtility {
+            terms,
+            monotone_stripped: stripped,
+            original: expr.clone(),
+        })
     }
 
     /// The augmented dimensionality (number of substitution terms).
@@ -123,12 +133,18 @@ impl LinearizedUtility {
 
     /// Computes the augmented attribute vector of an object on the fly.
     pub fn augmented_object(&self, attrs: &[f64]) -> Vec<f64> {
-        self.terms.iter().map(|t| t.attr_expr.eval(attrs, &[])).collect()
+        self.terms
+            .iter()
+            .map(|t| t.attr_expr.eval(attrs, &[]))
+            .collect()
     }
 
     /// Computes the augmented weight vector of a query on the fly.
     pub fn augmented_query(&self, weights: &[f64]) -> Vec<f64> {
-        self.terms.iter().map(|t| t.weight_expr.eval(&[], weights)).collect()
+        self.terms
+            .iter()
+            .map(|t| t.weight_expr.eval(&[], weights))
+            .collect()
     }
 
     /// The linearized score: the dot product of the augmented vectors.
@@ -399,7 +415,10 @@ mod tests {
         let u = lin("w1^2 + w1 * p1");
         assert_eq!(u.dim(), 2);
         let ao = u.augmented_object(&[5.0]);
-        assert!(ao.contains(&1.0), "constant attribute dimension missing: {ao:?}");
+        assert!(
+            ao.contains(&1.0),
+            "constant attribute dimension missing: {ao:?}"
+        );
         check_score_equality(&u, &[5.0], &[3.0]);
     }
 

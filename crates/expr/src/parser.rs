@@ -28,7 +28,9 @@ pub struct Schema {
 impl Schema {
     /// A schema with named attributes (index = position).
     pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
-        Schema { names: names.into_iter().map(Into::into).collect() }
+        Schema {
+            names: names.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// A schema resolving only positional names `p1…pd` / `x1…xd`.
@@ -167,9 +169,7 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 toks.push((Tok::Ident(input[start..i].to_string()), start));
@@ -215,7 +215,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(ParseError { message: format!("expected {what}"), position: self.here() })
+            Err(ParseError {
+                message: format!("expected {what}"),
+                position: self.here(),
+            })
         }
     }
 
@@ -311,7 +314,10 @@ impl<'a> Parser<'a> {
                     })
                 }
             }
-            _ => Err(ParseError { message: "expected expression".into(), position: at }),
+            _ => Err(ParseError {
+                message: "expected expression".into(),
+                position: at,
+            }),
         }
     }
 }
@@ -319,10 +325,18 @@ impl<'a> Parser<'a> {
 /// Parses `input` into an expression, resolving identifiers via `schema`.
 pub fn parse(input: &str, schema: &Schema) -> Result<Expr, ParseError> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0, schema, input_len: input.len() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        schema,
+        input_len: input.len(),
+    };
     let e = p.expr()?;
     if p.pos != p.toks.len() {
-        return Err(ParseError { message: "trailing input".into(), position: p.here() });
+        return Err(ParseError {
+            message: "trailing input".into(),
+            position: p.here(),
+        });
     }
     Ok(e)
 }

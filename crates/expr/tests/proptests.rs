@@ -8,25 +8,23 @@ use proptest::prelude::*;
 /// Random polynomial utilities in the shape the paper's workloads use:
 /// sums of `w_k · (attribute monomial)` with degrees in [1, 5].
 fn poly_utility(d: usize, terms: usize) -> impl Strategy<Value = Expr> {
-    prop::collection::vec(
-        (0..d, 1u32..5, prop::option::of(0..d)),
-        1..=terms,
-    )
-    .prop_map(move |spec| {
-        let mut expr: Option<Expr> = None;
-        for (k, (attr, deg, extra)) in spec.into_iter().enumerate() {
-            let mut mono = Expr::attr(attr).pow(deg);
-            if let Some(e2) = extra {
-                mono = mono.mul(Expr::attr(e2));
+    prop::collection::vec((0..d, 1u32..5, prop::option::of(0..d)), 1..=terms).prop_map(
+        move |spec| {
+            let mut expr: Option<Expr> = None;
+            for (k, (attr, deg, extra)) in spec.into_iter().enumerate() {
+                let mut mono = Expr::attr(attr).pow(deg);
+                if let Some(e2) = extra {
+                    mono = mono.mul(Expr::attr(e2));
+                }
+                let term = Expr::weight(k).mul(mono);
+                expr = Some(match expr {
+                    None => term,
+                    Some(acc) => acc.add(term),
+                });
             }
-            let term = Expr::weight(k).mul(mono);
-            expr = Some(match expr {
-                None => term,
-                Some(acc) => acc.add(term),
-            });
-        }
-        expr.unwrap()
-    })
+            expr.unwrap()
+        },
+    )
 }
 
 fn pos_values(n: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -124,9 +124,9 @@ impl BoundingBox {
     /// Grows `self` to cover the point `p`.
     pub fn merge_point(&mut self, p: &[f64]) {
         debug_assert_eq!(self.dim(), p.len());
-        for i in 0..self.dim() {
-            self.lo[i] = self.lo[i].min(p[i]);
-            self.hi[i] = self.hi[i].max(p[i]);
+        for (i, &pi) in p.iter().enumerate() {
+            self.lo[i] = self.lo[i].min(pi);
+            self.hi[i] = self.hi[i].max(pi);
         }
     }
 
@@ -142,11 +142,7 @@ impl BoundingBox {
         if self.is_empty() {
             return 0.0;
         }
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(l, h)| h - l)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).product()
     }
 
     /// Sum of side lengths (the R*-tree "margin" heuristic).
@@ -167,11 +163,11 @@ impl BoundingBox {
     pub fn min_dist_sq(&self, p: &[f64]) -> f64 {
         debug_assert_eq!(p.len(), self.dim());
         let mut acc = 0.0;
-        for i in 0..self.dim() {
-            let d = if p[i] < self.lo[i] {
-                self.lo[i] - p[i]
-            } else if p[i] > self.hi[i] {
-                p[i] - self.hi[i]
+        for (i, &pi) in p.iter().enumerate() {
+            let d = if pi < self.lo[i] {
+                self.lo[i] - pi
+            } else if pi > self.hi[i] {
+                pi - self.hi[i]
             } else {
                 0.0
             };
@@ -188,8 +184,8 @@ impl BoundingBox {
         debug_assert_eq!(normal.len(), self.dim());
         let mut min = offset;
         let mut max = offset;
-        for i in 0..self.dim() {
-            let (a, b) = (normal[i] * self.lo[i], normal[i] * self.hi[i]);
+        for (i, &ni) in normal.iter().enumerate() {
+            let (a, b) = (ni * self.lo[i], ni * self.hi[i]);
             min += a.min(b);
             max += a.max(b);
         }
@@ -354,11 +350,20 @@ mod tests {
     #[test]
     fn side_classification() {
         let h = Hyperplane::new(Vector::from([1.0, 0.0]), -5.0); // x = 5
-        assert_eq!(bb(&[6.0, 0.0], &[7.0, 1.0]).side_of(&h), BoxSide::EntirelyAbove);
-        assert_eq!(bb(&[0.0, 0.0], &[1.0, 1.0]).side_of(&h), BoxSide::EntirelyBelow);
+        assert_eq!(
+            bb(&[6.0, 0.0], &[7.0, 1.0]).side_of(&h),
+            BoxSide::EntirelyAbove
+        );
+        assert_eq!(
+            bb(&[0.0, 0.0], &[1.0, 1.0]).side_of(&h),
+            BoxSide::EntirelyBelow
+        );
         assert_eq!(bb(&[4.0, 0.0], &[6.0, 1.0]).side_of(&h), BoxSide::Straddles);
         // Touching the plane counts as above (closed form_range min == 0).
-        assert_eq!(bb(&[5.0, 0.0], &[6.0, 1.0]).side_of(&h), BoxSide::EntirelyAbove);
+        assert_eq!(
+            bb(&[5.0, 0.0], &[6.0, 1.0]).side_of(&h),
+            BoxSide::EntirelyAbove
+        );
     }
 
     #[test]
@@ -380,8 +385,14 @@ mod tests {
     #[test]
     fn certain_side_matches_side_of() {
         let h = Hyperplane::new(Vector::from([0.0, 1.0]), 0.0); // y = 0
-        assert_eq!(bb(&[0.0, 1.0], &[1.0, 2.0]).certain_side(&h), Some(Side::Above));
-        assert_eq!(bb(&[0.0, -2.0], &[1.0, -1.0]).certain_side(&h), Some(Side::Below));
+        assert_eq!(
+            bb(&[0.0, 1.0], &[1.0, 2.0]).certain_side(&h),
+            Some(Side::Above)
+        );
+        assert_eq!(
+            bb(&[0.0, -2.0], &[1.0, -1.0]).certain_side(&h),
+            Some(Side::Below)
+        );
         assert_eq!(bb(&[0.0, -1.0], &[1.0, 1.0]).certain_side(&h), None);
     }
 }

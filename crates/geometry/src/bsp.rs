@@ -59,8 +59,8 @@ pub fn find_subdomains(hyperplanes: &[Hyperplane], queries: &[Vec<f64>]) -> Part
     // Each group is (member query indices, boundaries accumulated so far).
     // Start with a single subdomain holding everything (Algorithm 1 lines
     // 1–5).
-    let mut groups: Vec<(Vec<usize>, Vec<(usize, Side)>)> =
-        vec![((0..queries.len()).collect(), Vec::new())];
+    type Group = (Vec<usize>, Vec<(usize, Side)>);
+    let mut groups: Vec<Group> = vec![((0..queries.len()).collect(), Vec::new())];
 
     for (hi, h) in hyperplanes.iter().enumerate() {
         let mut next = Vec::with_capacity(groups.len());
@@ -170,7 +170,10 @@ impl Partition {
         for sd in &self.subdomains {
             map.insert(encode_signature(&sd.signature), sd.id);
         }
-        SignatureIndex { partition: self, map }
+        SignatureIndex {
+            partition: self,
+            map,
+        }
     }
 }
 
@@ -270,8 +273,7 @@ mod tests {
         let p = find_subdomains(&hs, &queries);
         for i in 0..queries.len() {
             for j in 0..queries.len() {
-                let same_sig =
-                    signature_of(&queries[i], &hs) == signature_of(&queries[j], &hs);
+                let same_sig = signature_of(&queries[i], &hs) == signature_of(&queries[j], &hs);
                 assert_eq!(
                     p.assignment[i] == p.assignment[j],
                     same_sig,

@@ -186,9 +186,8 @@ mod tests {
                 .unwrap();
             let best_score = pts[best].0 * dir.0 + pts[best].1 * dir.1;
             assert!(
-                hull.iter().any(|&h| {
-                    (pts[h].0 * dir.0 + pts[h].1 * dir.1 - best_score).abs() < 1e-9
-                }),
+                hull.iter()
+                    .any(|&h| { (pts[h].0 * dir.0 + pts[h].1 * dir.1 - best_score).abs() < 1e-9 }),
                 "direction {dir:?} extreme not on hull"
             );
         }

@@ -46,10 +46,7 @@ impl Hyperplane {
     /// Panics if the normal is the zero vector (the locus would be either
     /// empty or all of space, neither of which is a hyperplane).
     pub fn new(normal: Vector, offset: f64) -> Self {
-        assert!(
-            !normal.is_zero(0.0),
-            "hyperplane normal must be non-zero"
-        );
+        assert!(!normal.is_zero(0.0), "hyperplane normal must be non-zero");
         Hyperplane { normal, offset }
     }
 
@@ -63,7 +60,10 @@ impl Hyperplane {
         if n.is_zero(0.0) {
             None
         } else {
-            Some(Hyperplane { normal: n, offset: 0.0 })
+            Some(Hyperplane {
+                normal: n,
+                offset: 0.0,
+            })
         }
     }
 
@@ -149,7 +149,11 @@ impl Slab {
 
     /// Builds a slab directly from two boundary hyperplanes.
     pub fn new(before: Hyperplane, after: Hyperplane) -> Slab {
-        assert_eq!(before.dim(), after.dim(), "slab boundary dimension mismatch");
+        assert_eq!(
+            before.dim(),
+            after.dim(),
+            "slab boundary dimension mismatch"
+        );
         Slab { before, after }
     }
 

@@ -32,3 +32,14 @@ pub mod vector;
 pub use bbox::{BoundingBox, BoxSide};
 pub use hyperplane::{Hyperplane, Side, Slab};
 pub use vector::Vector;
+
+// Marker-trait audit: the evaluation core shares these read-only across
+// worker threads (iq-core::exec); a field change that introduces interior
+// mutability or non-Send storage must fail here, at the source crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Vector>();
+    assert_send_sync::<Hyperplane>();
+    assert_send_sync::<Slab>();
+    assert_send_sync::<BoundingBox>();
+};

@@ -114,8 +114,16 @@ pub fn segment_intersections(segments: &[Segment]) -> Vec<(usize, usize)> {
     let mut events: Vec<Event> = Vec::with_capacity(segments.len() * 2);
     for (i, s) in segments.iter().enumerate() {
         let (lo, hi) = s.x_range();
-        events.push(Event { x: lo, enter: true, seg: i });
-        events.push(Event { x: hi, enter: false, seg: i });
+        events.push(Event {
+            x: lo,
+            enter: true,
+            seg: i,
+        });
+        events.push(Event {
+            x: hi,
+            enter: false,
+            seg: i,
+        });
     }
     // Enter events sort before exit events at equal x so touching segments
     // are simultaneously active.
@@ -180,11 +188,7 @@ pub fn brute_force_intersections(segments: &[Segment]) -> Vec<(usize, usize)> {
 /// Returns `(i, j, t)` triples with `i < j` and `t` the crossing parameter,
 /// sorted by `t`. Parallel (equal-slope) functions never cross and are
 /// skipped; functions equal on the whole interval are skipped too.
-pub fn line_intersections_1d(
-    funcs: &[(f64, f64)],
-    lo: f64,
-    hi: f64,
-) -> Vec<(usize, usize, f64)> {
+pub fn line_intersections_1d(funcs: &[(f64, f64)], lo: f64, hi: f64) -> Vec<(usize, usize, f64)> {
     assert!(lo < hi, "empty sweep interval");
     let n = funcs.len();
     // Order at the left end (ties broken by value at right end, then index,
@@ -284,7 +288,10 @@ mod tests {
             Segment::new((1.0, 3.0), (3.0, 3.0)),
             Segment::new((2.0, -1.0), (2.0, 5.0)), // vertical
         ];
-        assert_eq!(segment_intersections(&segs), brute_force_intersections(&segs));
+        assert_eq!(
+            segment_intersections(&segs),
+            brute_force_intersections(&segs)
+        );
     }
 
     #[test]
@@ -292,13 +299,20 @@ mod tests {
         // Deterministic pseudo-random segments (LCG) in general position.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         for trial in 0..20 {
             let n = 10 + trial;
             let segs: Vec<Segment> = (0..n)
-                .map(|_| Segment::new((next() * 10.0, next() * 10.0), (next() * 10.0, next() * 10.0)))
+                .map(|_| {
+                    Segment::new(
+                        (next() * 10.0, next() * 10.0),
+                        (next() * 10.0, next() * 10.0),
+                    )
+                })
                 .collect();
             assert_eq!(
                 segment_intersections(&segs),
@@ -335,12 +349,15 @@ mod tests {
     fn line_sweep_1d_matches_brute_force() {
         let mut state = 99u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         for _ in 0..10 {
-            let funcs: Vec<(f64, f64)> =
-                (0..15).map(|_| (next() * 4.0 - 2.0, next() * 4.0 - 2.0)).collect();
+            let funcs: Vec<(f64, f64)> = (0..15)
+                .map(|_| (next() * 4.0 - 2.0, next() * 4.0 - 2.0))
+                .collect();
             let got: std::collections::HashSet<(usize, usize)> =
                 line_intersections_1d(&funcs, 0.0, 1.0)
                     .into_iter()

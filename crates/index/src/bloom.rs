@@ -149,7 +149,10 @@ mod tests {
         f.insert(&(5, 2));
         assert!(f.may_contain(&(3, 17)));
         assert!(f.may_contain(&(5, 2)));
-        assert!(!f.may_contain(&(17, 3)) || !f.may_contain(&(2, 5)) || true);
+        // Swapped pairs are distinct keys, but a bloom filter may report
+        // false positives — querying them must merely not panic.
+        let _ = f.may_contain(&(17, 3));
+        let _ = f.may_contain(&(2, 5));
     }
 
     #[test]

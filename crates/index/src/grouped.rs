@@ -35,7 +35,11 @@ pub struct GroupedQueryIndex {
 impl GroupedQueryIndex {
     /// Creates an empty index for `dim`-dimensional points.
     pub fn new(dim: usize) -> Self {
-        GroupedQueryIndex { dim, groups: HashMap::new(), len: 0 }
+        GroupedQueryIndex {
+            dim,
+            groups: HashMap::new(),
+            len: 0,
+        }
     }
 
     /// Builds the index from an iterator of `(group, point, payload)`.

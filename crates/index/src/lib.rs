@@ -17,3 +17,14 @@ pub mod rtree;
 pub use bloom::BloomFilter;
 pub use grouped::GroupedQueryIndex;
 pub use rtree::{Entry, RTree, SplitAlgorithm};
+
+// Marker-trait audit: all query paths on these structures take `&self`
+// and the evaluation core reads them from many threads concurrently
+// (iq-core::exec). Interior mutability (caches, visit counters, etc.)
+// added to any of them must fail this assertion, not corrupt searches.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RTree<usize>>();
+    assert_send_sync::<GroupedQueryIndex>();
+    assert_send_sync::<BloomFilter<u32>>();
+};

@@ -467,7 +467,10 @@ impl<T> RTree<T> {
         }
 
         let mut heap: BinaryHeap<Pq<'_, T>> = BinaryHeap::new();
-        heap.push(Pq { dist: 0.0, item: Item::Node(&self.root) });
+        heap.push(Pq {
+            dist: 0.0,
+            item: Item::Node(&self.root),
+        });
         let mut out = Vec::with_capacity(k);
         while let Some(Pq { dist, item }) = heap.pop() {
             match item {
@@ -480,7 +483,10 @@ impl<T> RTree<T> {
                 Item::Node(Node::Leaf(entries)) => {
                     for e in entries {
                         let d = iq_geometry::vector::dist_sq(q, &e.point);
-                        heap.push(Pq { dist: d, item: Item::Entry(e) });
+                        heap.push(Pq {
+                            dist: d,
+                            item: Item::Entry(e),
+                        });
                     }
                 }
                 Item::Node(Node::Internal(children)) => {
@@ -582,7 +588,10 @@ impl<T> RTree<T> {
             &mut leaf_depth,
         )?;
         if total != self.len {
-            return Err(format!("len mismatch: counted {total}, stored {}", self.len));
+            return Err(format!(
+                "len mismatch: counted {total}, stored {}",
+                self.len
+            ));
         }
         Ok(())
     }
@@ -624,9 +633,7 @@ fn pick_seeds(boxes: &[BoundingBox]) -> (usize, usize) {
     let mut worst_waste = f64::NEG_INFINITY;
     for i in 0..boxes.len() {
         for j in (i + 1)..boxes.len() {
-            let waste = boxes[i].merged(&boxes[j]).volume()
-                - boxes[i].volume()
-                - boxes[j].volume();
+            let waste = boxes[i].merged(&boxes[j]).volume() - boxes[i].volume() - boxes[j].volume();
             if waste > worst_waste {
                 worst_waste = waste;
                 best = (i, j);
@@ -724,19 +731,21 @@ fn split_items<I>(
     }
 }
 
-fn split_leaf<T>(
-    entries: Vec<Entry<T>>,
-    dim: usize,
-    algo: SplitAlgorithm,
-) -> (Child<T>, Child<T>) {
+fn split_leaf<T>(entries: Vec<Entry<T>>, dim: usize, algo: SplitAlgorithm) -> (Child<T>, Child<T>) {
     let items: Vec<(BoundingBox, Entry<T>)> = entries
         .into_iter()
         .map(|e| (BoundingBox::point(&e.point), e))
         .collect();
     let (g1, b1, g2, b2) = split_items(items, dim, algo);
     (
-        Child { bbox: b1, node: Box::new(Node::Leaf(g1)) },
-        Child { bbox: b2, node: Box::new(Node::Leaf(g2)) },
+        Child {
+            bbox: b1,
+            node: Box::new(Node::Leaf(g1)),
+        },
+        Child {
+            bbox: b2,
+            node: Box::new(Node::Leaf(g2)),
+        },
     )
 }
 
@@ -749,8 +758,14 @@ fn split_internal<T>(
         children.into_iter().map(|c| (c.bbox.clone(), c)).collect();
     let (g1, b1, g2, b2) = split_items(items, dim, algo);
     (
-        Child { bbox: b1, node: Box::new(Node::Internal(g1)) },
-        Child { bbox: b2, node: Box::new(Node::Internal(g2)) },
+        Child {
+            bbox: b1,
+            node: Box::new(Node::Internal(g1)),
+        },
+        Child {
+            bbox: b2,
+            node: Box::new(Node::Internal(g2)),
+        },
     )
 }
 
@@ -1082,9 +1097,7 @@ mod tests {
     #[test]
     fn rstar_split_matches_naive_search() {
         let mut rnd = lcg(31);
-        let pts: Vec<Vec<f64>> = (0..400)
-            .map(|_| vec![rnd() * 10.0, rnd() * 10.0])
-            .collect();
+        let pts: Vec<Vec<f64>> = (0..400).map(|_| vec![rnd() * 10.0, rnd() * 10.0]).collect();
         let mut t = RTree::with_split(2, 8, SplitAlgorithm::RStar);
         for (i, p) in pts.iter().enumerate() {
             t.insert(p.clone(), i);

@@ -55,7 +55,7 @@ proptest! {
             }
         }
         prop_assert_eq!(tree.len(), model.len());
-        tree.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        tree.check_invariants().map_err(TestCaseError::fail)?;
 
         // Window query equivalence.
         let lo: Vec<f64> = window.0.iter().zip(&window.1).map(|(a, b)| a.min(*b)).collect();

@@ -149,7 +149,13 @@ pub fn exact_min_cost<S: SubsetSolver>(
         dfs(ctx, pos + 1, chosen);
     }
 
-    let mut ctx = Ctx { conditions, order: &order, tau, solver, best: None };
+    let mut ctx = Ctx {
+        conditions,
+        order: &order,
+        tau,
+        solver,
+        best: None,
+    };
     let mut chosen = Vec::with_capacity(tau);
     dfs(&mut ctx, 0, &mut chosen);
     ctx.best.map(|mut b| {
@@ -236,7 +242,10 @@ mod tests {
     use super::*;
 
     fn cond(a: &[f64], b: f64) -> HitCondition {
-        HitCondition { a: Vector::from(a), b }
+        HitCondition {
+            a: Vector::from(a),
+            b,
+        }
     }
 
     /// Brute-force oracle: try all subsets of size ≥ tau (min-cost) or all
@@ -396,6 +405,9 @@ mod tests {
                 lo = mid;
             }
         }
-        assert!((hi - direct).abs() < 1e-4, "binary-search {hi} vs direct {direct}");
+        assert!(
+            (hi - direct).abs() < 1e-4,
+            "binary-search {hi} vs direct {direct}"
+        );
     }
 }

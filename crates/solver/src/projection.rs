@@ -72,11 +72,7 @@ pub fn min_weighted_norm_single(a: &Vector, b: f64, weights: &[f64]) -> Option<V
     if b >= 0.0 {
         return Some(Vector::zeros(a.dim()));
     }
-    let denom: f64 = a
-        .iter()
-        .zip(weights)
-        .map(|(ai, wi)| ai * ai / wi)
-        .sum();
+    let denom: f64 = a.iter().zip(weights).map(|(ai, wi)| ai * ai / wi).sum();
     if denom <= f64::EPSILON {
         return None;
     }
@@ -271,9 +267,7 @@ mod tests {
         for dx in [-0.05, 0.0, 0.05] {
             for dy in [-0.05, 0.0, 0.05] {
                 let cand = Vector::from([x[0] + dx, x[1] + dy]);
-                let feas = cs
-                    .iter()
-                    .all(|(a, b)| a.dot(&cand) <= b + 1e-9);
+                let feas = cs.iter().all(|(a, b)| a.dot(&cand) <= b + 1e-9);
                 if feas {
                     assert!(cand.norm() + 1e-9 >= base);
                 }
@@ -284,10 +278,7 @@ mod tests {
     #[test]
     fn dykstra_infeasible_detected() {
         // s₁ ≤ -1 and -s₁ ≤ -1 (s₁ ≥ 1): empty.
-        let cs = vec![
-            (Vector::from([1.0]), -1.0),
-            (Vector::from([-1.0]), -1.0),
-        ];
+        let cs = vec![(Vector::from([1.0]), -1.0), (Vector::from([-1.0]), -1.0)];
         assert_eq!(min_norm(&cs), QpResult::Infeasible);
     }
 

@@ -33,17 +33,29 @@ pub struct Constraint {
 impl Constraint {
     /// Convenience constructor for a `≤` constraint.
     pub fn le(coeffs: Vec<f64>, rhs: f64) -> Self {
-        Constraint { coeffs, relation: Relation::Le, rhs }
+        Constraint {
+            coeffs,
+            relation: Relation::Le,
+            rhs,
+        }
     }
 
     /// Convenience constructor for a `≥` constraint.
     pub fn ge(coeffs: Vec<f64>, rhs: f64) -> Self {
-        Constraint { coeffs, relation: Relation::Ge, rhs }
+        Constraint {
+            coeffs,
+            relation: Relation::Ge,
+            rhs,
+        }
     }
 
     /// Convenience constructor for an `=` constraint.
     pub fn eq(coeffs: Vec<f64>, rhs: f64) -> Self {
-        Constraint { coeffs, relation: Relation::Eq, rhs }
+        Constraint {
+            coeffs,
+            relation: Relation::Eq,
+            rhs,
+        }
     }
 }
 
@@ -175,13 +187,13 @@ pub fn solve(lp: &LinearProgram) -> LpResult {
     }
     // Phase-1 objective row: minimize sum of artificials ⇒ row = −Σ rows.
     let mut basis: Vec<usize> = (n..n + m).collect();
-    for j in 0..=total {
-        let s: f64 = (0..m).map(|i| t[i][j]).sum();
-        t[m][j] = -s;
+    {
+        let (rows, obj) = t.split_at_mut(m);
+        for (j, oj) in obj[0].iter_mut().enumerate() {
+            *oj = -rows.iter().map(|r| r[j]).sum::<f64>();
+        }
     }
-    for i in n..n + m {
-        t[m][i] = 0.0;
-    }
+    t[m][n..n + m].fill(0.0);
 
     if !pivot_until_optimal(&mut t, &mut basis, total) {
         // Phase 1 of a bounded-below objective can't be unbounded.
@@ -195,7 +207,7 @@ pub fn solve(lp: &LinearProgram) -> LpResult {
     for i in 0..m {
         if basis[i] >= n {
             if let Some(j) = (0..n).find(|&j| t[i][j].abs() > EPS) {
-                pivot(&mut t, &mut basis, i, j, total);
+                pivot(&mut t, &mut basis, i, j);
             }
             // If no structural column is available the row is redundant
             // (all-zero); the artificial stays basic at value 0, harmless.
@@ -204,19 +216,18 @@ pub fn solve(lp: &LinearProgram) -> LpResult {
 
     // --- Phase 2: original objective. ---
     // Rebuild the objective row in terms of the current basis.
-    for j in 0..=total {
-        t[m][j] = 0.0;
-    }
-    for j in 0..n {
-        t[m][j] = c_std[j];
-    }
+    t[m].fill(0.0);
+    t[m][..n].copy_from_slice(&c_std);
     // Zero out basic columns by row elimination.
-    for i in 0..m {
-        let bj = basis[i];
-        let coef = t[m][bj];
-        if coef.abs() > EPS {
-            for j in 0..=total {
-                t[m][j] -= coef * t[i][j];
+    {
+        let (rows, obj) = t.split_at_mut(m);
+        let obj = &mut obj[0];
+        for (row, &bj) in rows.iter().zip(basis.iter()) {
+            let coef = obj[bj];
+            if coef.abs() > EPS {
+                for (oj, rj) in obj.iter_mut().zip(row.iter()) {
+                    *oj -= coef * rj;
+                }
             }
         }
     }
@@ -237,12 +248,7 @@ pub fn solve(lp: &LinearProgram) -> LpResult {
     for (j, &(p, mneg)) in col_of_var.iter().enumerate() {
         x[j] = y[p] - mneg.map_or(0.0, |q| y[q]);
     }
-    let value: f64 = lp
-        .objective
-        .iter()
-        .zip(&x)
-        .map(|(c, v)| c * v)
-        .sum();
+    let value: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
     LpResult::Optimal { x, value }
 }
 
@@ -271,8 +277,7 @@ fn pivot_until_optimal_limited(
             if t[i][enter] > EPS {
                 let ratio = t[i][total] / t[i][enter];
                 if ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leave = Some(i);
@@ -282,25 +287,25 @@ fn pivot_until_optimal_limited(
         let Some(row) = leave else {
             return false; // unbounded
         };
-        pivot(t, basis, row, enter, total);
+        pivot(t, basis, row, enter);
     }
     // Shouldn't happen with Bland's rule; treat as numerically stuck.
     true
 }
 
-fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
     let p = t[row][col];
     debug_assert!(p.abs() > 0.0, "pivot on zero element");
-    for j in 0..=total {
-        t[row][j] /= p;
+    for x in &mut t[row] {
+        *x /= p;
     }
-    for i in 0..t.len() {
-        if i != row {
-            let f = t[i][col];
-            if f.abs() > EPS {
-                for j in 0..=total {
-                    t[i][j] -= f * t[row][j];
-                }
+    let (before, rest) = t.split_at_mut(row);
+    let (prow, after) = rest.split_first_mut().expect("pivot row in tableau");
+    for r in before.iter_mut().chain(after.iter_mut()) {
+        let f = r[col];
+        if f.abs() > EPS {
+            for (xj, pj) in r.iter_mut().zip(prow.iter()) {
+                *xj -= f * pj;
             }
         }
     }

@@ -92,7 +92,10 @@ fn blending_with_equality_and_bounds() {
             }
         }
     }
-    assert!((value - best).abs() < 0.05, "simplex {value} vs grid {best}");
+    assert!(
+        (value - best).abs() < 0.05,
+        "simplex {value} vs grid {best}"
+    );
 }
 
 #[test]
@@ -128,7 +131,10 @@ fn klee_minty_3d() {
         bounds: vec![VarBound::NonNegative; 3],
     };
     let (x, value) = optimal(&lp);
-    assert!((value + 10_000.0).abs() < 1e-6, "Klee–Minty optimum wrong: {value}");
+    assert!(
+        (value + 10_000.0).abs() < 1e-6,
+        "Klee–Minty optimum wrong: {value}"
+    );
     assert!((x[2] - 10_000.0).abs() < 1e-5);
 }
 

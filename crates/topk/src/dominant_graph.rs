@@ -75,9 +75,9 @@ impl DominantGraph {
                 .iter()
                 .copied()
                 .filter(|&a| {
-                    !direct.iter().any(|&c| {
-                        c != a && dominates(&objects[c as usize], &objects[a as usize])
-                    })
+                    !direct
+                        .iter()
+                        .any(|&c| c != a && dominates(&objects[c as usize], &objects[a as usize]))
                 })
                 .collect();
             dominators[bi as usize] = reduced;
@@ -95,7 +95,12 @@ impl DominantGraph {
                 children[a as usize].push(b as u32);
             }
         }
-        DominantGraph { children, parent_count, sources, num_objects: n }
+        DominantGraph {
+            children,
+            parent_count,
+            sources,
+            num_objects: n,
+        }
     }
 
     /// Number of indexed objects.
@@ -204,7 +209,12 @@ mod tests {
     #[test]
     fn antichain_graph() {
         // Anti-correlated points: nobody dominates anybody.
-        let objs = vec![vec![1.0, 4.0], vec![2.0, 3.0], vec![3.0, 2.0], vec![4.0, 1.0]];
+        let objs = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 3.0],
+            vec![3.0, 2.0],
+            vec![4.0, 1.0],
+        ];
         let dg = DominantGraph::build(&objs);
         assert_eq!(dg.num_sources(), 4);
         assert_eq!(dg.num_edges(), 0);
@@ -218,9 +228,7 @@ mod tests {
         for trial in 0..5 {
             let n = 80 + trial * 30;
             let d = 2 + trial % 3;
-            let objs: Vec<Vec<f64>> = (0..n)
-                .map(|_| (0..d).map(|_| rnd()).collect())
-                .collect();
+            let objs: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rnd()).collect()).collect();
             let dg = DominantGraph::build(&objs);
             for _ in 0..10 {
                 let w: Vec<f64> = (0..d).map(|_| rnd()).collect();

@@ -26,7 +26,7 @@ pub mod reverse;
 pub mod rta;
 
 pub use dominant_graph::DominantGraph;
+pub use max_rank::{max_rank_2d, max_rank_sampled, MaxRankResult};
 pub use naive::{score, top_k, TopKQuery};
 pub use onion::OnionIndex;
-pub use max_rank::{max_rank_2d, max_rank_sampled, MaxRankResult};
 pub use rta::RtaResult;

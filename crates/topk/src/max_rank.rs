@@ -49,12 +49,18 @@ pub fn max_rank_2d(objects: &[Vec<f64>], target: usize) -> MaxRankResult {
     cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
     cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
-    let mut best = MaxRankResult { rank: usize::MAX, weights: vec![0.0, 1.0] };
+    let mut best = MaxRankResult {
+        rank: usize::MAX,
+        weights: vec![0.0, 1.0],
+    };
     let mut consider = |t: f64| {
         let w = vec![t, 1.0 - t];
         let r = rank_of(objects, &w, target);
         if r < best.rank {
-            best = MaxRankResult { rank: r, weights: w };
+            best = MaxRankResult {
+                rank: r,
+                weights: w,
+            };
         }
     };
     // Piece midpoints plus the boundary parameters (ties live there).
@@ -74,7 +80,10 @@ pub fn max_rank_2d(objects: &[Vec<f64>], target: usize) -> MaxRankResult {
 pub fn max_rank_sampled(objects: &[Vec<f64>], target: usize, resolution: usize) -> MaxRankResult {
     let d = objects.first().map_or(0, |o| o.len());
     assert!(d >= 1, "empty objects");
-    let mut best = MaxRankResult { rank: usize::MAX, weights: vec![1.0 / d as f64; d] };
+    let mut best = MaxRankResult {
+        rank: usize::MAX,
+        weights: vec![1.0 / d as f64; d],
+    };
     let mut stack = vec![Vec::with_capacity(d)];
     // Enumerate compositions of `resolution` into d parts (simplex grid).
     while let Some(prefix) = stack.pop() {
@@ -88,7 +97,10 @@ pub fn max_rank_sampled(objects: &[Vec<f64>], target: usize, resolution: usize) 
                 w.push((resolution - used) as f64 / resolution as f64);
                 let r = rank_of(objects, &w, target);
                 if r < best.rank {
-                    best = MaxRankResult { rank: r, weights: w };
+                    best = MaxRankResult {
+                        rank: r,
+                        weights: w,
+                    };
                 }
             }
             continue;

@@ -98,8 +98,7 @@ pub fn rank_of(objects: &[Vec<f64>], weights: &[f64], target: usize) -> usize {
         .iter()
         .enumerate()
         .filter(|&(i, o)| {
-            i != target
-                && rank_cmp(score(o, weights), i, ts, target) == std::cmp::Ordering::Less
+            i != target && rank_cmp(score(o, weights), i, ts, target) == std::cmp::Ordering::Less
         })
         .count()
 }

@@ -28,7 +28,10 @@ impl OnionIndex {
             "OnionIndex supports 2-dimensional objects only"
         );
         let pts: Vec<(f64, f64)> = objects.iter().map(|o| (o[0], o[1])).collect();
-        OnionIndex { layers: onion_layers(&pts), num_objects: objects.len() }
+        OnionIndex {
+            layers: onion_layers(&pts),
+            num_objects: objects.len(),
+        }
     }
 
     /// Number of convex layers.

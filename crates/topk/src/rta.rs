@@ -66,7 +66,10 @@ pub fn reverse_top_k(objects: &[Vec<f64>], queries: &[TopKQuery], target: usize)
         }
     }
     hits.sort_unstable();
-    RtaResult { hits, full_evaluations }
+    RtaResult {
+        hits,
+        full_evaluations,
+    }
 }
 
 /// Convenience: just the hit count `H(target)`.
@@ -150,8 +153,9 @@ mod tests {
     #[test]
     fn popular_target_hits_everything() {
         let objects = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]];
-        let queries: Vec<TopKQuery> =
-            (1..5).map(|i| TopKQuery::new(vec![i as f64 * 0.1, 0.3], 1)).collect();
+        let queries: Vec<TopKQuery> = (1..5)
+            .map(|i| TopKQuery::new(vec![i as f64 * 0.1, 0.3], 1))
+            .collect();
         let res = reverse_top_k(&objects, &queries, 0);
         assert_eq!(res.hits.len(), queries.len());
     }

@@ -32,12 +32,7 @@ pub const K_RANGE: std::ops::RangeInclusive<usize> = 1..=50;
 /// Generates `m` weight vectors of dimension `d` under the distribution.
 /// Weights are normalized per query so that each lies in `[0, 1]` (the
 /// §3.2 normalization assumption).
-pub fn weights<R: Rng>(
-    dist: QueryDistribution,
-    m: usize,
-    d: usize,
-    rng: &mut R,
-) -> Vec<Vec<f64>> {
+pub fn weights<R: Rng>(dist: QueryDistribution, m: usize, d: usize, rng: &mut R) -> Vec<Vec<f64>> {
     match dist {
         QueryDistribution::Uniform => (0..m)
             .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
@@ -138,10 +133,21 @@ pub fn build_nonlinear_workload<R: Rng>(
         .collect();
     let queries: Vec<TopKQuery> = raw_weights
         .iter()
-        .map(|w| TopKQuery::new(linearized.augmented_query(w), rng.gen_range(k_range.clone())))
+        .map(|w| {
+            TopKQuery::new(
+                linearized.augmented_query(w),
+                rng.gen_range(k_range.clone()),
+            )
+        })
         .collect();
     let instance = Instance::new(objects, queries).expect("augmented instance is consistent");
-    Ok(NonLinearWorkload { form, linearized, instance, raw_objects, raw_weights })
+    Ok(NonLinearWorkload {
+        form,
+        linearized,
+        instance,
+        raw_objects,
+        raw_weights,
+    })
 }
 
 #[cfg(test)]
@@ -217,15 +223,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let raw = generate(Distribution::Independent, 50, 3, &mut rng);
         let form = random_polynomial_form(3, &mut rng);
-        let wl = build_nonlinear_workload(
-            form,
-            raw,
-            QueryDistribution::Uniform,
-            20,
-            1..=5,
-            &mut rng,
-        )
-        .unwrap();
+        let wl =
+            build_nonlinear_workload(form, raw, QueryDistribution::Uniform, 20, 1..=5, &mut rng)
+                .unwrap();
         // Augmented linear scores equal the original utility exactly.
         for (qi, w) in wl.raw_weights.iter().enumerate() {
             for (oi, o) in wl.raw_objects.iter().enumerate() {

@@ -119,12 +119,22 @@ pub fn house_scaled<R: Rng>(n: usize, rng: &mut R) -> RealDataset {
         let value = income * (3.0 + normal(rng).abs() * 1.5) + normal(rng) * 15_000.0;
         let mortgage = (value * 0.004 + normal(rng) * 120.0).max(0.0); // monthly
         let persons = (1.0 + rng.gen::<f64>() * 5.0 + normal(rng) * 0.8).clamp(1.0, 12.0);
-        rows.push(vec![value.max(10_000.0), income.max(5_000.0), persons, mortgage]);
+        rows.push(vec![
+            value.max(10_000.0),
+            income.max(5_000.0),
+            persons,
+            mortgage,
+        ]);
     }
     normalize_columns(&mut rows);
     RealDataset {
         name: "HOUSE",
-        attributes: vec!["house_value", "household_income", "persons", "monthly_mortgage"],
+        attributes: vec![
+            "house_value",
+            "household_income",
+            "persons",
+            "monthly_mortgage",
+        ],
         rows,
     }
 }

@@ -46,7 +46,11 @@ fn main() {
     let before: usize = (0..instance.num_queries())
         .filter(|&q| {
             [0usize, 1].iter().any(|&t| {
-                improvement_queries::topk::naive::hits(instance.objects(), &instance.queries()[q], t)
+                improvement_queries::topk::naive::hits(
+                    instance.objects(),
+                    &instance.queries()[q],
+                    t,
+                )
             })
         })
         .count();

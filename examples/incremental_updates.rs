@@ -42,13 +42,20 @@ fn main() {
         match i % 4 {
             0 | 1 => {
                 // New buyer alert near an existing preference cluster.
-                let base = instance.queries()[i % instance.num_queries()].weights.clone();
+                let base = instance.queries()[i % instance.num_queries()]
+                    .weights
+                    .clone();
                 let w: Vec<f64> = base
                     .iter()
                     .map(|v| (v + (rng.gen::<f64>() - 0.5) * 0.02).clamp(0.0, 1.0))
                     .collect();
-                add_query(&mut instance, &mut index, TopKQuery::new(w, 1 + i % 7), &mut stats)
-                    .expect("add query");
+                add_query(
+                    &mut instance,
+                    &mut index,
+                    TopKQuery::new(w, 1 + i % 7),
+                    &mut stats,
+                )
+                .expect("add query");
             }
             2 => {
                 let victim = rng.gen_range(0..instance.num_queries());
@@ -97,7 +104,9 @@ fn main() {
         report.hits_before, report.hits_after, report.cost, report.achieved
     );
     assert_eq!(
-        instance.with_strategy(target, &report.strategy).hit_count_naive(target),
+        instance
+            .with_strategy(target, &report.strategy)
+            .hit_count_naive(target),
         report.hits_after
     );
 }

@@ -9,7 +9,7 @@ use improvement_queries::prelude::*;
 
 fn main() {
     // Table 1 of the paper: (Price, MPG, Capacity), plus a few extra cars.
-    let cars = vec![
+    let cars = [
         vec![15000.0, 30.0, 4.0], // id 0
         vec![20000.0, 28.0, 6.0], // id 1
         vec![8000.0, 35.0, 2.0],  // id 2

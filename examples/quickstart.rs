@@ -42,7 +42,10 @@ fn main() {
     println!("\nMin-Cost IQ (tau = 2):");
     println!("  strategy  = {:?}", report.strategy);
     println!("  cost      = {:.4}", report.cost);
-    println!("  hits      = {} -> {}", report.hits_before, report.hits_after);
+    println!(
+        "  hits      = {} -> {}",
+        report.hits_before, report.hits_after
+    );
     println!("  achieved  = {}", report.achieved);
 
     // Verify on a fresh copy.

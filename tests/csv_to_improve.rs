@@ -29,10 +29,7 @@ fn write_fixtures(dir: &std::path::Path) -> (String, String) {
          0.3,0.3,0.4,1\n",
     )
     .unwrap();
-    (
-        cars.display().to_string(),
-        prefs.display().to_string(),
-    )
+    (cars.display().to_string(), prefs.display().to_string())
 }
 
 #[test]
@@ -46,7 +43,8 @@ fn copy_inspect_improve_roundtrip() {
         Outcome::Copied(5)
     );
     assert_eq!(
-        s.execute(&format!("COPY prefs FROM '{prefs_path}'")).unwrap(),
+        s.execute(&format!("COPY prefs FROM '{prefs_path}'"))
+            .unwrap(),
         Outcome::Copied(6)
     );
 
@@ -57,7 +55,10 @@ fn copy_inspect_improve_roundtrip() {
     }
 
     // Aggregate-level market inspection.
-    match s.execute("SELECT COUNT(*), AVG(price) FROM cars WHERE price > 0.4").unwrap() {
+    match s
+        .execute("SELECT COUNT(*), AVG(price) FROM cars WHERE price > 0.4")
+        .unwrap()
+    {
         Outcome::Rows(r) => {
             assert_eq!(r.rows[0][0], Value::Int(3));
             let avg = r.rows[0][1].as_f64().unwrap();
@@ -81,7 +82,10 @@ fn copy_inspect_improve_roundtrip() {
     // The improvement is visible to ordinary SQL afterwards.
     match s.execute("SELECT price FROM cars WHERE id = 1").unwrap() {
         Outcome::Rows(r) => {
-            assert!(r.rows[0][0].as_f64().unwrap() < 0.8, "price did not improve");
+            assert!(
+                r.rows[0][0].as_f64().unwrap() < 0.8,
+                "price did not improve"
+            );
         }
         other => panic!("{other:?}"),
     }

@@ -6,13 +6,15 @@ use improvement_queries::prelude::*;
 
 fn loaded_session() -> Session {
     let mut s = Session::new();
-    s.execute("CREATE TABLE objs (id INT, a FLOAT, b FLOAT)").unwrap();
+    s.execute("CREATE TABLE objs (id INT, a FLOAT, b FLOAT)")
+        .unwrap();
     s.execute(
         "INSERT INTO objs VALUES \
          (1, 0.9, 0.8), (2, 0.2, 0.3), (3, 0.5, 0.5), (4, 0.7, 0.2), (5, 0.3, 0.9)",
     )
     .unwrap();
-    s.execute("CREATE TABLE prefs (w1 FLOAT, w2 FLOAT, k INT)").unwrap();
+    s.execute("CREATE TABLE prefs (w1 FLOAT, w2 FLOAT, k INT)")
+        .unwrap();
     s.execute(
         "INSERT INTO prefs VALUES \
          (0.9, 0.1, 1), (0.5, 0.5, 2), (0.1, 0.9, 1), (0.7, 0.3, 1), (0.3, 0.7, 2), (0.6, 0.4, 1)",
@@ -72,10 +74,20 @@ fn improve_statement_matches_direct_api() {
 
     let col = |name: &str| r.columns.iter().position(|c| c == name).unwrap();
     assert_eq!(r.rows.len(), 1);
-    assert_eq!(r.rows[0][col("hits_after")], Value::Int(direct.hits_after as i64));
-    assert_eq!(r.rows[0][col("hits_before")], Value::Int(direct.hits_before as i64));
+    assert_eq!(
+        r.rows[0][col("hits_after")],
+        Value::Int(direct.hits_after as i64)
+    );
+    assert_eq!(
+        r.rows[0][col("hits_before")],
+        Value::Int(direct.hits_before as i64)
+    );
     let cost = r.rows[0][col("cost")].as_f64().unwrap();
-    assert!((cost - direct.cost).abs() < 1e-9, "{cost} vs {}", direct.cost);
+    assert!(
+        (cost - direct.cost).abs() < 1e-9,
+        "{cost} vs {}",
+        direct.cost
+    );
     for (i, attr) in ["a", "b"].iter().enumerate() {
         let d = r.rows[0][col(&format!("delta_{attr}"))].as_f64().unwrap();
         assert!((d - direct.strategy[i]).abs() < 1e-9);
@@ -90,13 +102,18 @@ fn apply_then_requery_shows_improvement() {
         s.execute("IMPROVE objs USING prefs WHERE id = 1 MAXHIT 0.0")
             .unwrap(),
     );
-    let hits_col = before.columns.iter().position(|c| c == "hits_before").unwrap();
+    let hits_col = before
+        .columns
+        .iter()
+        .position(|c| c == "hits_before")
+        .unwrap();
     let h0 = match before.rows[0][hits_col] {
         Value::Int(h) => h,
         ref other => panic!("{other:?}"),
     };
 
-    s.execute("IMPROVE objs USING prefs WHERE id = 1 MINCOST 3 APPLY").unwrap();
+    s.execute("IMPROVE objs USING prefs WHERE id = 1 MINCOST 3 APPLY")
+        .unwrap();
     // Re-run a zero-budget improve: hits_before now reflects the applied
     // strategy.
     let after = rows(
@@ -113,7 +130,8 @@ fn apply_then_requery_shows_improvement() {
 #[test]
 fn select_after_improve_roundtrip() {
     let mut s = loaded_session();
-    s.execute("IMPROVE objs USING prefs WHERE id = 1 MINCOST 2 APPLY").unwrap();
+    s.execute("IMPROVE objs USING prefs WHERE id = 1 MINCOST 2 APPLY")
+        .unwrap();
     let r = rows(s.execute("SELECT a, b FROM objs WHERE id = 1").unwrap());
     let a = r.rows[0][0].as_f64().unwrap();
     let b = r.rows[0][1].as_f64().unwrap();
@@ -131,7 +149,11 @@ fn multi_target_improve_counts_union() {
     );
     assert_eq!(r.rows.len(), 2);
     let cost_col = r.columns.iter().position(|c| c == "cost").unwrap();
-    let total: f64 = r.rows.iter().map(|row| row[cost_col].as_f64().unwrap()).sum();
+    let total: f64 = r
+        .rows
+        .iter()
+        .map(|row| row[cost_col].as_f64().unwrap())
+        .sum();
     assert!(total <= 0.4 + 1e-6);
     // hits_after is the union count, identical across rows.
     let ha = r.columns.iter().position(|c| c == "hits_after").unwrap();
@@ -143,14 +165,20 @@ fn full_workflow_with_table_management() {
     let mut s = loaded_session();
     // SQL-side analysis before improving.
     let top = rows(
-        s.execute("SELECT id FROM objs ORDER BY a ASC LIMIT 1").unwrap(),
+        s.execute("SELECT id FROM objs ORDER BY a ASC LIMIT 1")
+            .unwrap(),
     );
     assert_eq!(top.rows[0][0], Value::Int(2));
     // Drop and recreate the prefs table with a different workload.
     s.execute("DROP TABLE prefs").unwrap();
-    s.execute("CREATE TABLE prefs (w1 FLOAT, w2 FLOAT, k INT)").unwrap();
-    s.execute("INSERT INTO prefs VALUES (1.0, 0.0, 1), (0.0, 1.0, 1)").unwrap();
-    let r = rows(s.execute("IMPROVE objs USING prefs WHERE id = 1 MINCOST 1").unwrap());
+    s.execute("CREATE TABLE prefs (w1 FLOAT, w2 FLOAT, k INT)")
+        .unwrap();
+    s.execute("INSERT INTO prefs VALUES (1.0, 0.0, 1), (0.0, 1.0, 1)")
+        .unwrap();
+    let r = rows(
+        s.execute("IMPROVE objs USING prefs WHERE id = 1 MINCOST 1")
+            .unwrap(),
+    );
     let achieved = r.columns.iter().position(|c| c == "achieved").unwrap();
     assert_eq!(r.rows[0][achieved], Value::Bool(true));
 }

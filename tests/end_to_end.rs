@@ -37,7 +37,8 @@ fn four_schemes_on_every_distribution() {
         let eff = min_cost_iq(&inst, &index, target, tau, &cost, &bounds, &opts);
         assert!(eff.achieved, "{dist:?}: Efficient-IQ failed to reach tau");
         assert_eq!(
-            inst.with_strategy(target, &eff.strategy).hit_count_naive(target),
+            inst.with_strategy(target, &eff.strategy)
+                .hit_count_naive(target),
             eff.hits_after
         );
 
@@ -52,7 +53,8 @@ fn four_schemes_on_every_distribution() {
         let mut gev = TargetEvaluator::new(&inst, &index, target);
         let greedy = greedy_iq(&mut gev, Some(tau), None, &cost, &bounds, &opts);
         assert_eq!(
-            inst.with_strategy(target, &greedy.strategy).hit_count_naive(target),
+            inst.with_strategy(target, &greedy.strategy)
+                .hit_count_naive(target),
             greedy.hits_after,
             "{dist:?}: greedy report untruthful"
         );
@@ -73,7 +75,8 @@ fn four_schemes_on_every_distribution() {
         let mut rng = StdRng::seed_from_u64(seed * 97);
         let rnd = random_min_cost_iq(&mut rev, tau, &cost, &bounds, &mut rng, 2000);
         assert_eq!(
-            inst.with_strategy(target, &rnd.strategy).hit_count_naive(target),
+            inst.with_strategy(target, &rnd.strategy)
+                .hit_count_naive(target),
             rnd.hits_after,
             "{dist:?}: random report untruthful"
         );
@@ -114,7 +117,8 @@ fn clustered_queries_pipeline() {
     );
     assert!(r.cost <= 0.4 + 1e-6);
     assert_eq!(
-        inst.with_strategy(target, &r.strategy).hit_count_naive(target),
+        inst.with_strategy(target, &r.strategy)
+            .hit_count_naive(target),
         r.hits_after
     );
 }
@@ -123,8 +127,14 @@ fn clustered_queries_pipeline() {
 fn real_world_datasets_pipeline() {
     let mut rng = StdRng::seed_from_u64(5);
     for (name, ds) in [
-        ("VEHICLE", improvement_queries::workload::real::vehicle_scaled(400, &mut rng)),
-        ("HOUSE", improvement_queries::workload::real::house_scaled(400, &mut rng)),
+        (
+            "VEHICLE",
+            improvement_queries::workload::real::vehicle_scaled(400, &mut rng),
+        ),
+        (
+            "HOUSE",
+            improvement_queries::workload::real::house_scaled(400, &mut rng),
+        ),
     ] {
         let inst = improvement_queries::workload::real_instance(
             &ds,
@@ -150,7 +160,8 @@ fn real_world_datasets_pipeline() {
         );
         assert!(r.achieved, "{name}: failed to reach tau");
         assert_eq!(
-            inst.with_strategy(target, &r.strategy).hit_count_naive(target),
+            inst.with_strategy(target, &r.strategy)
+                .hit_count_naive(target),
             r.hits_after,
             "{name}"
         );

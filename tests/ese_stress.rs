@@ -3,7 +3,7 @@
 //! across every workload distribution. One-shot deterministic runs (no
 //! shrinking needed at this size — any failure here reproduces directly).
 
-use iq_core::{Instance, QueryIndex, TargetEvaluator};
+use iq_core::{QueryIndex, TargetEvaluator};
 use iq_geometry::Vector;
 use iq_workload::{standard_instance, Distribution, QueryDistribution};
 use rand::rngs::StdRng;

@@ -129,7 +129,7 @@ fn heterogeneous_family_iq_pipeline() {
     let v = parse_expr("MPG / (w1 * Price) + w2 * Capacity^2", &schema).unwrap();
     let family = GenericFamily::from_exprs(&[u, v]).unwrap();
 
-    let cars = vec![
+    let cars = [
         vec![15000.0, 30.0, 4.0],
         vec![20000.0, 28.0, 6.0],
         vec![8000.0, 35.0, 2.0],

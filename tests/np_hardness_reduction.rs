@@ -32,9 +32,7 @@ fn min_cover(universe: usize, sets: &[Vec<usize>]) -> Option<usize> {
     let m = sets.len();
     (0u32..(1 << m))
         .filter(|mask| {
-            (0..universe).all(|u| {
-                (0..m).any(|j| mask & (1 << j) != 0 && sets[j].contains(&u))
-            })
+            (0..universe).all(|u| (0..m).any(|j| mask & (1 << j) != 0 && sets[j].contains(&u)))
         })
         .map(|mask| mask.count_ones() as usize)
         .min()
@@ -119,7 +117,13 @@ fn greedy_heuristic_finds_a_cover_not_necessarily_minimal() {
     // The paper's Algorithm 3 on the reduction instance reaches τ = |U|
     // (it is a set-cover greedy in disguise); its cost is an upper bound
     // on the continuous optimum but must produce a valid improvement.
-    let sets = vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5], vec![1, 4]];
+    let sets = vec![
+        vec![0, 1, 2],
+        vec![2, 3],
+        vec![3, 4, 5],
+        vec![0, 5],
+        vec![1, 4],
+    ];
     let inst = reduction_instance(6, &sets);
     let index = QueryIndex::build(&inst);
     let r = min_cost_iq(

@@ -17,11 +17,11 @@ const S: [f64; 2] = [1.0, 0.0];
 /// q5 ranks [f2, f1] throughout. (Rankings are ascending-score, Eq. 6.)
 fn queries() -> Vec<[f64; 2]> {
     vec![
-        [-5.0, 1.0],   // q1: Δ = −10,  Δ' = −15  → [f1, f2] stays
-        [-2.0, 0.5],   // q2: Δ = −3.5, Δ' = −5.5 → [f1, f2] stays
-        [10.0, -6.5],  // q3: Δ = −2.5, Δ' = 7.5  → flips to [f2, f1]
-        [8.0, -4.9],   // q4: Δ = −0.5, Δ' = 7.5  → flips to [f2, f1]
-        [5.0, 5.0],    // q5: Δ = 35,   Δ' = 40   → [f2, f1] stays
+        [-5.0, 1.0],  // q1: Δ = −10,  Δ' = −15  → [f1, f2] stays
+        [-2.0, 0.5],  // q2: Δ = −3.5, Δ' = −5.5 → [f1, f2] stays
+        [10.0, -6.5], // q3: Δ = −2.5, Δ' = 7.5  → flips to [f2, f1]
+        [8.0, -4.9],  // q4: Δ = −0.5, Δ' = 7.5  → flips to [f2, f1]
+        [5.0, 5.0],   // q5: Δ = 35,   Δ' = 40   → [f2, f1] stays
     ]
 }
 
@@ -40,17 +40,22 @@ fn ranking_table_matches_figure() {
     let objects = vec![P1.to_vec(), P2.to_vec()];
     for (i, q) in queries().iter().enumerate() {
         let before = naive::full_ranking(&objects, q);
-        let expected_before = if delta(q) < 0.0 { vec![0, 1] } else { vec![1, 0] };
+        let expected_before = if delta(q) < 0.0 {
+            vec![0, 1]
+        } else {
+            vec![1, 0]
+        };
         assert_eq!(before, expected_before, "query {} before", i + 1);
     }
     // Apply s to p1 and recheck.
-    let improved = vec![
-        vec![P1[0] + S[0], P1[1] + S[1]],
-        P2.to_vec(),
-    ];
+    let improved = vec![vec![P1[0] + S[0], P1[1] + S[1]], P2.to_vec()];
     for (i, q) in queries().iter().enumerate() {
         let after = naive::full_ranking(&improved, q);
-        let expected_after = if delta_after(q) < 0.0 { vec![0, 1] } else { vec![1, 0] };
+        let expected_after = if delta_after(q) < 0.0 {
+            vec![0, 1]
+        } else {
+            vec![1, 0]
+        };
         assert_eq!(after, expected_after, "query {} after", i + 1);
     }
     // The figure's table: q1, q2 unchanged; q3, q4 flipped; q5 unchanged.
@@ -93,7 +98,10 @@ fn ese_counts_match_figure_semantics() {
     // After s = (1, 0): p1 loses q3 and q4 (Fact 2's rank switch).
     let s = Vector::from(S);
     assert_eq!(ev.evaluate(&s), 2);
-    assert_eq!(ev.evaluate(&s), instance.with_strategy(0, &s).hit_count_naive(0));
+    assert_eq!(
+        ev.evaluate(&s),
+        instance.with_strategy(0, &s).hit_count_naive(0)
+    );
     // Only the two flipping queries are reported as changes.
     let mut changed: Vec<usize> = ev.evaluate_changes(&s).iter().map(|&(q, _, _)| q).collect();
     changed.sort_unstable();

@@ -58,7 +58,15 @@ fn efficient_beats_random_on_cost_at_ambitious_tau() {
     let cost = EuclideanCost;
     let bounds = StrategyBounds::unbounded(3);
 
-    let eff = min_cost_iq(&inst, &index, target, tau, &cost, &bounds, &SearchOptions::default());
+    let eff = min_cost_iq(
+        &inst,
+        &index,
+        target,
+        tau,
+        &cost,
+        &bounds,
+        &SearchOptions::default(),
+    );
     assert!(eff.achieved);
 
     // Random over several seeds: the blind sampler overshoots massively at
