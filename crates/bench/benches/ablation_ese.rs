@@ -55,6 +55,34 @@ fn bench(c: &mut Criterion) {
                 improved.hit_count_naive(0)
             })
         });
+        // The scoring-kernel ablation behind DESIGN.md §9: one full pass
+        // scoring the improved target against every query weight vector,
+        // through the nested Vec<Vec<f64>> rows vs the flat SoA kernel.
+        let p_new = &Vector::from(inst.object(0)) + &s;
+        group.bench_with_input(
+            BenchmarkId::new("flat_vs_nested", format!("{label}/nested")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for q in inst.queries() {
+                        acc += iq_geometry::vector::dot(&q.weights, p_new.as_slice());
+                    }
+                    std::hint::black_box(acc)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flat_vs_nested", format!("{label}/flat")),
+            &(),
+            |b, _| {
+                let mut buf = Vec::new();
+                b.iter(|| {
+                    inst.weights_flat().scores_into(p_new.as_slice(), &mut buf);
+                    std::hint::black_box(buf.iter().sum::<f64>())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -6,8 +6,8 @@
 use crate::cost::{CostFunction, StrategyBounds};
 use crate::model::{ImprovementStrategy, Instance};
 use crate::search::{run_max_hit, run_min_cost, HitEvaluator, IqReport, SearchOptions};
-use iq_geometry::{vector::dot, Vector};
-use iq_topk::naive::kth_best_excluding;
+use iq_geometry::{FlatMatrix, Vector};
+use iq_topk::naive::kth_best_excluding_flat;
 use iq_topk::rta;
 use rand::Rng;
 
@@ -23,8 +23,9 @@ fn strict_eps(scale: f64) -> f64 {
 /// which is exactly the comparison of Figs. 7–12.
 pub struct RtaEvaluator<'a> {
     instance: &'a Instance,
-    /// Private copy of the objects with the improved target written in.
-    objects: Vec<Vec<f64>>,
+    /// Private flat copy of the objects with the improved target written
+    /// in; every RTA pass streams through this one contiguous buffer.
+    objects: FlatMatrix,
     target: usize,
     applied: Vector,
     hit: Vec<bool>,
@@ -43,11 +44,11 @@ impl<'a> RtaEvaluator<'a> {
         let thresh = instance
             .queries()
             .iter()
-            .map(|q| kth_best_excluding(instance.objects(), &q.weights, q.k, target))
+            .map(|q| kth_best_excluding_flat(instance.objects_flat(), &q.weights, q.k, target))
             .collect();
         let mut ev = RtaEvaluator {
             instance,
-            objects: instance.objects().to_vec(),
+            objects: instance.objects_flat().clone(),
             target,
             applied: Vector::zeros(instance.dim()),
             hit: vec![false; instance.num_queries()],
@@ -59,7 +60,7 @@ impl<'a> RtaEvaluator<'a> {
     }
 
     fn refresh_hits(&mut self) {
-        let res = rta::reverse_top_k(&self.objects, self.instance.queries(), self.target);
+        let res = rta::reverse_top_k_flat(&self.objects, self.instance.queries(), self.target);
         self.hit.iter_mut().for_each(|h| *h = false);
         for &q in &res.hits {
             self.hit[q] = true;
@@ -83,28 +84,23 @@ impl HitEvaluator for RtaEvaluator<'_> {
 
     fn required_rhs(&self, q: usize) -> Option<f64> {
         let (_, thresh) = self.thresh[q]?;
-        let ts = dot(
-            &self.objects[self.target],
-            &self.instance.queries()[q].weights,
-        );
+        let ts = self
+            .objects
+            .dot_row(self.target, &self.instance.queries()[q].weights);
         Some(thresh - ts - strict_eps(thresh))
     }
 
     fn evaluate(&mut self, s: &ImprovementStrategy) -> usize {
         // Temporarily improve the private copy, run RTA, restore.
-        let saved = self.objects[self.target].clone();
-        for (attr, delta) in self.objects[self.target].iter_mut().zip(s.iter()) {
-            *attr += delta;
-        }
-        let count = rta::hit_count(&self.objects, self.instance.queries(), self.target);
-        self.objects[self.target] = saved;
+        let saved = self.objects.row(self.target).to_vec();
+        self.objects.add_to_row(self.target, s.as_slice());
+        let count = rta::hit_count_flat(&self.objects, self.instance.queries(), self.target);
+        self.objects.set_row(self.target, &saved);
         count
     }
 
     fn apply(&mut self, s: &ImprovementStrategy) {
-        for (attr, delta) in self.objects[self.target].iter_mut().zip(s.iter()) {
-            *attr += delta;
-        }
+        self.objects.add_to_row(self.target, s.as_slice());
         self.applied += s;
         self.refresh_hits();
     }

@@ -42,7 +42,7 @@
 use crate::exec::ExecPolicy;
 use crate::model::{ImprovementStrategy, Instance};
 use crate::subdomain::QueryIndex;
-use iq_geometry::{vector::dot, Slab, Vector};
+use iq_geometry::{Slab, Vector};
 use iq_index::GroupedQueryIndex;
 use iq_topk::naive::rank_cmp;
 use std::cmp::Ordering;
@@ -75,6 +75,10 @@ pub struct EvalCursor {
     /// Per query: current hit status of the (improved) target.
     hit: Vec<bool>,
     hit_count: usize,
+    /// Reusable scores buffer for the batched full-recompute kernel
+    /// (`weights_flat · p_eff`). Pure workspace: never read across calls,
+    /// so it carries no state a fork could observe.
+    scratch: Vec<f64>,
 }
 
 impl EvalCursor {
@@ -121,6 +125,9 @@ impl<'a> EvalContext<'a> {
                 grouped.insert(*o as usize, instance.queries()[qi].weights.clone(), qi);
             }
         }
+        // The forest is read-only from here on: seal every per-group
+        // R-tree into its arena form for the iterative slab scans.
+        grouped.optimize();
         EvalContext {
             instance,
             target,
@@ -141,6 +148,7 @@ impl<'a> EvalContext<'a> {
             applied: Vector::zeros(self.instance.dim()),
             hit: vec![false; self.instance.num_queries()],
             hit_count: 0,
+            scratch: Vec::new(),
         };
         self.recompute_hits(&mut cursor);
         cursor
@@ -182,10 +190,9 @@ impl<'a> EvalContext<'a> {
 
     /// The improved target's current score under query `q`.
     pub fn current_score(&self, cursor: &EvalCursor, q: usize) -> f64 {
-        dot(
-            self.effective_target(cursor).as_slice(),
-            &self.instance.queries()[q].weights,
-        )
+        self.instance
+            .weights_flat()
+            .dot_row(q, self.effective_target(cursor).as_slice())
     }
 
     fn hit_status(&self, q: usize, target_score: f64) -> bool {
@@ -196,14 +203,21 @@ impl<'a> EvalContext<'a> {
     }
 
     fn recompute_hits(&self, cursor: &mut EvalCursor) {
+        // Batched kernel over the contiguous weight rows; bit-identical to
+        // the per-query `dot(p_eff, w_q)` (elementwise products commute,
+        // accumulation order is the coordinate order either way).
         let p_eff = self.effective_target(cursor);
+        let mut scratch = std::mem::take(&mut cursor.scratch);
+        self.instance
+            .weights_flat()
+            .scores_into(p_eff.as_slice(), &mut scratch);
         cursor.hit_count = 0;
-        for q in 0..self.instance.num_queries() {
-            let ts = dot(p_eff.as_slice(), &self.instance.queries()[q].weights);
+        for (q, &ts) in scratch.iter().enumerate() {
             let h = self.hit_status(q, ts);
             cursor.hit[q] = h;
             cursor.hit_count += h as usize;
         }
+        cursor.scratch = scratch;
     }
 
     /// **Fast ESE**: `H(p + applied + s)` touching only queries inside the
@@ -238,14 +252,16 @@ impl<'a> EvalContext<'a> {
     ) {
         let p_eff = self.effective_target(cursor);
         let p_new = &p_eff + s;
+        // Slab re-scoring reads contiguous flat rows: `wf.dot_row(qi, ·)`
+        // is `dot(w_q, p_new)`, bit-identical to `dot(p_new, w_q)`.
+        let wf = self.instance.weights_flat();
         for group in self.grouped.group_keys() {
             let o_attrs = Vector::from(self.instance.object(group));
             match Slab::affected_subspace(&p_eff, &o_attrs, s) {
                 Some(slab) => {
                     self.grouped
                         .visit_slab_tol(group, &slab, BOUNDARY_TOL, &mut |qi| {
-                            let w = &self.instance.queries()[qi].weights;
-                            let now = self.hit_status(qi, dot(p_new.as_slice(), w));
+                            let now = self.hit_status(qi, wf.dot_row(qi, p_new.as_slice()));
                             if now != cursor.hit[qi] {
                                 visit(qi, cursor.hit[qi], now);
                             }
@@ -262,8 +278,7 @@ impl<'a> EvalContext<'a> {
                         ),
                         f64::INFINITY,
                         &mut |qi| {
-                            let w = &self.instance.queries()[qi].weights;
-                            let now = self.hit_status(qi, dot(p_new.as_slice(), w));
+                            let now = self.hit_status(qi, wf.dot_row(qi, p_new.as_slice()));
                             if now != cursor.hit[qi] {
                                 visit(qi, cursor.hit[qi], now);
                             }
@@ -299,13 +314,13 @@ impl<'a> EvalContext<'a> {
                 });
             }
         }
+        let wf = self.instance.weights_flat();
         let mut count = cursor.hit_count as i64;
         for (qi, flag) in affected.iter().enumerate() {
             if !flag {
                 continue;
             }
-            let w = &self.instance.queries()[qi].weights;
-            let now = self.hit_status(qi, dot(p_new.as_slice(), w));
+            let now = self.hit_status(qi, wf.dot_row(qi, p_new.as_slice()));
             count += now as i64 - cursor.hit[qi] as i64;
         }
         count as usize
@@ -317,13 +332,9 @@ impl<'a> EvalContext<'a> {
     /// [`Instance::hit_count_naive`]).
     pub fn evaluate_naive(&self, cursor: &EvalCursor, s: &ImprovementStrategy) -> usize {
         let p_new = &self.effective_target(cursor) + s;
+        let wf = self.instance.weights_flat();
         (0..self.instance.num_queries())
-            .filter(|&q| {
-                self.hit_status(
-                    q,
-                    dot(p_new.as_slice(), &self.instance.queries()[q].weights),
-                )
-            })
+            .filter(|&q| self.hit_status(q, wf.dot_row(q, p_new.as_slice())))
             .count()
     }
 

@@ -85,9 +85,36 @@ impl ExecPolicy {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.map_init(|| (), items, |(), i, t| f(i, t))
+    }
+
+    /// [`ExecPolicy::map`] with per-worker scratch state: `init()` runs
+    /// once on each worker thread (once total in the sequential path) and
+    /// the resulting value is passed mutably to every `f` call that worker
+    /// executes. This is how the scoring paths reuse a scores buffer
+    /// across items without per-call allocation and without sharing
+    /// mutable state between threads.
+    ///
+    /// Determinism: the scratch is an accumulator-free workspace — `f`'s
+    /// result must depend only on `(index, item)`, never on which worker
+    /// ran it or what the scratch held before. Given that, the offset-
+    /// ordered merge makes the output identical to the sequential
+    /// `items.iter().enumerate().map(...)`, whatever the thread count.
+    pub fn map_init<T, R, S, I, F>(&self, init: I, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
         let threads = self.threads().min(items.len().max(1));
         if threads <= 1 || items.len() <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut scratch = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut scratch, i, t))
+                .collect();
         }
 
         // Small chunks (≈4 per worker) absorb load imbalance; the atomic
@@ -98,18 +125,21 @@ impl ExecPolicy {
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= items.len() {
-                        break;
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        let results: Vec<R> = items[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(off, t)| f(&mut scratch, start + off, t))
+                            .collect();
+                        parts.lock().unwrap().push((start, results));
                     }
-                    let end = (start + chunk).min(items.len());
-                    let results: Vec<R> = items[start..end]
-                        .iter()
-                        .enumerate()
-                        .map(|(off, t)| f(start + off, t))
-                        .collect();
-                    parts.lock().unwrap().push((start, results));
                 });
             }
         });
@@ -145,6 +175,28 @@ mod tests {
         for threads in [1usize, 4] {
             let got = ExecPolicy::with_threads(threads).map(&items, |i, _| i);
             assert_eq!(got, (0..100).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_init_scratch_reuse_is_order_invariant() {
+        // The scratch buffer is reused across items within a worker; the
+        // output must still be input-ordered and value-identical at every
+        // thread count.
+        let items: Vec<usize> = (0..123).collect();
+        let expect: Vec<f64> = items.iter().map(|&x| (x * 3) as f64).collect();
+        for threads in [1usize, 2, 7, 16] {
+            let got = ExecPolicy::with_threads(threads).map_init(
+                Vec::new,
+                &items,
+                |buf: &mut Vec<f64>, i, &x| {
+                    assert_eq!(i, x);
+                    buf.clear();
+                    buf.extend([x as f64; 3]);
+                    buf.iter().sum::<f64>()
+                },
+            );
+            assert_eq!(got, expect, "threads = {threads}");
         }
     }
 

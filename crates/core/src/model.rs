@@ -7,7 +7,7 @@
 //! vector of Definition 1; applying it replaces the target object with
 //! `p + s`.
 
-use iq_geometry::Vector;
+use iq_geometry::{FlatMatrix, Vector};
 use iq_topk::naive;
 pub use iq_topk::TopKQuery;
 
@@ -46,11 +46,21 @@ impl std::fmt::Display for ModelError {
 impl std::error::Error for ModelError {}
 
 /// A dataset of objects plus the top-k query workload over them.
+///
+/// Coordinates are materialised twice: the nested `Vec<Vec<f64>>` /
+/// `Vec<TopKQuery>` views that the construction and update APIs expose,
+/// and flat row-major mirrors ([`Instance::objects_flat`],
+/// [`Instance::weights_flat`]) that the batched scoring kernels stream
+/// through (DESIGN.md §9). Every mutator keeps the mirrors coherent; the
+/// flat rows are bit-for-bit copies of the nested rows, never derived
+/// data.
 #[derive(Debug, Clone)]
 pub struct Instance {
     dim: usize,
     objects: Vec<Vec<f64>>,
     queries: Vec<TopKQuery>,
+    objects_flat: FlatMatrix,
+    weights_flat: FlatMatrix,
 }
 
 impl Instance {
@@ -83,10 +93,17 @@ impl Instance {
                 return Err(ModelError::NonFinite);
             }
         }
+        let objects_flat = FlatMatrix::from_rows(dim, &objects);
+        let mut weights_flat = FlatMatrix::new(dim);
+        for q in &queries {
+            weights_flat.push_row(&q.weights);
+        }
         Ok(Instance {
             dim,
             objects,
             queries,
+            objects_flat,
+            weights_flat,
         })
     }
 
@@ -125,6 +142,18 @@ impl Instance {
         &self.objects[i]
     }
 
+    /// The objects as one contiguous row-major matrix (row `i` ≡
+    /// [`Instance::object`]`(i)`, bit-for-bit).
+    pub fn objects_flat(&self) -> &FlatMatrix {
+        &self.objects_flat
+    }
+
+    /// The query weight vectors as one contiguous row-major matrix (row
+    /// `q` ≡ `queries()[q].weights`, bit-for-bit).
+    pub fn weights_flat(&self) -> &FlatMatrix {
+        &self.weights_flat
+    }
+
     /// The linear score of object `i` under query `q` (Eq. 1).
     pub fn score(&self, object: usize, query: usize) -> f64 {
         naive::score(&self.objects[object], &self.queries[query].weights)
@@ -152,6 +181,10 @@ impl Instance {
         for (attr, delta) in self.objects[target].iter_mut().zip(s.iter()) {
             *attr += delta;
         }
+        // Copy, don't re-add: the mirror must stay bit-identical to the
+        // nested row, and `+=` on each side independently would be, too,
+        // but copying makes the coherence self-evident.
+        self.objects_flat.set_row(target, &self.objects[target]);
         Ok(())
     }
 
@@ -194,6 +227,7 @@ impl Instance {
         if attrs.iter().any(|v| !v.is_finite()) {
             return Err(ModelError::NonFinite);
         }
+        self.objects_flat.push_row(&attrs);
         self.objects.push(attrs);
         Ok(self.objects.len() - 1)
     }
@@ -206,6 +240,7 @@ impl Instance {
                 found: query.weights.len(),
             });
         }
+        self.weights_flat.push_row(&query.weights);
         self.queries.push(query);
         Ok(self.queries.len() - 1)
     }
@@ -214,12 +249,17 @@ impl Instance {
     /// Intended for the §4.3 update tests; removing interior objects would
     /// invalidate target ids held elsewhere.
     pub fn pop_object(&mut self) -> Option<Vec<f64>> {
-        self.objects.pop()
+        let popped = self.objects.pop();
+        if popped.is_some() {
+            self.objects_flat.pop_row();
+        }
+        popped
     }
 
     /// Removes a query by id, shifting later ids down.
     pub fn remove_query(&mut self, query: usize) -> Option<TopKQuery> {
         if query < self.queries.len() {
+            self.weights_flat.remove_row(query);
             Some(self.queries.remove(query))
         } else {
             None
@@ -231,6 +271,7 @@ impl Instance {
     /// the moved query's id in its own structures.
     pub fn swap_remove_query(&mut self, query: usize) -> Option<TopKQuery> {
         if query < self.queries.len() {
+            self.weights_flat.swap_remove_row(query);
             Some(self.queries.swap_remove(query))
         } else {
             None
@@ -328,6 +369,44 @@ mod tests {
         let inst = Instance::new(vec![], vec![]).unwrap();
         assert_eq!(inst.dim(), 0);
         assert_eq!(inst.max_k(), 0);
+    }
+
+    fn assert_mirrors_coherent(inst: &Instance) {
+        assert_eq!(inst.objects_flat().rows(), inst.num_objects());
+        assert_eq!(inst.weights_flat().rows(), inst.num_queries());
+        for i in 0..inst.num_objects() {
+            assert_eq!(inst.objects_flat().row(i), inst.object(i), "object {i}");
+        }
+        for (q, query) in inst.queries().iter().enumerate() {
+            assert_eq!(
+                inst.weights_flat().row(q),
+                query.weights.as_slice(),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_mirrors_track_every_mutation() {
+        let mut inst = camera_instance();
+        assert_mirrors_coherent(&inst);
+        inst.apply_strategy(0, &Vector::from([5.0, 2.0, -50.0]))
+            .unwrap();
+        assert_mirrors_coherent(&inst);
+        inst.push_object(vec![11.0, 3.0, 300.0]).unwrap();
+        inst.push_query(TopKQuery::new(vec![-1.0, -1.0, 0.01], 2))
+            .unwrap();
+        assert_mirrors_coherent(&inst);
+        inst.pop_object();
+        assert_mirrors_coherent(&inst);
+        inst.swap_remove_query(0);
+        assert_mirrors_coherent(&inst);
+        inst.remove_query(0);
+        assert_mirrors_coherent(&inst);
+        inst.pop_object();
+        inst.pop_object();
+        assert!(inst.pop_object().is_none());
+        assert_mirrors_coherent(&inst);
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! reports are byte-identical at any thread count. Evaluators that need
 //! `&mut self` to score (RTA's temporary object mutation) simply return
 //! `None` and keep the sequential path — same candidates, same counters.
+//!
+//! Each score bottoms out in the flat evaluation core (DESIGN.md §9): the
+//! ESE path re-scores slab hits through [`iq_geometry::FlatMatrix`] row
+//! kernels over arena-sealed R-trees, bit-identical to the scalar path,
+//! so the parallel fan-out and the kernel rewiring compose without
+//! touching expected outputs.
 
 use crate::cost::{CostFunction, StrategyBounds};
 use crate::ese::TargetEvaluator;

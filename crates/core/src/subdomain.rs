@@ -79,16 +79,19 @@ impl QueryIndex {
         let mut subdomain_of = vec![0u32; m];
         let mut subdomains: Vec<SubdomainEntry> = Vec::new();
         let mut by_toplist: HashMap<Vec<u32>, u32> = HashMap::new();
-        let mut rtree = RTree::new(instance.dim().max(1));
 
-        let toplists: Vec<Vec<u32>> = exec.map(instance.queries(), |_, q| {
-            naive::top_k(instance.objects(), &q.weights, kprime)
+        // Signatures stream through the batched kernel over the flat
+        // object matrix; each worker reuses one scores buffer across its
+        // whole share of the queries (no per-query allocation).
+        let objects = instance.objects_flat();
+        let toplists: Vec<Vec<u32>> = exec.map_init(Vec::new, instance.queries(), |buf, _, q| {
+            naive::top_k_flat(objects, &q.weights, kprime, buf)
                 .into_iter()
                 .map(|i| i as u32)
                 .collect()
         });
 
-        for ((qi, q), toplist) in instance.queries().iter().enumerate().zip(toplists) {
+        for (qi, toplist) in toplists.into_iter().enumerate() {
             let sd = *by_toplist.entry(toplist.clone()).or_insert_with(|| {
                 subdomains.push(SubdomainEntry {
                     queries: Vec::new(),
@@ -98,8 +101,18 @@ impl QueryIndex {
             });
             subdomains[sd as usize].queries.push(qi as u32);
             subdomain_of[qi] = sd;
-            rtree.insert(q.weights.clone(), qi);
         }
+
+        // The workload is known up front: STR bulk-load straight into the
+        // arena layout instead of one insert per query.
+        let rtree = RTree::bulk(
+            instance.dim().max(1),
+            instance
+                .queries()
+                .iter()
+                .enumerate()
+                .map(|(qi, q)| (q.weights.clone(), qi)),
+        );
 
         let mut boundary_filter = BloomFilter::new((subdomains.len() * kprime).max(16), 0.01);
         for sd in &subdomains {
@@ -149,7 +162,6 @@ impl QueryIndex {
         let kprime = instance.max_k() + 1;
         let mut subdomains = Vec::with_capacity(partition.len());
         let mut subdomain_of = vec![0u32; instance.num_queries()];
-        let mut rtree = RTree::new(instance.dim().max(1));
         for (sd_id, cell) in partition.subdomains.iter().enumerate() {
             let rep = cell.queries[0];
             let toplist: Vec<u32> =
@@ -173,9 +185,14 @@ impl QueryIndex {
                 toplist,
             });
         }
-        for (qi, q) in instance.queries().iter().enumerate() {
-            rtree.insert(q.weights.clone(), qi);
-        }
+        let rtree = RTree::bulk(
+            instance.dim().max(1),
+            instance
+                .queries()
+                .iter()
+                .enumerate()
+                .map(|(qi, q)| (q.weights.clone(), qi)),
+        );
         let mut boundary_filter = BloomFilter::new((subdomains.len() * kprime).max(16), 0.01);
         for sd in &subdomains {
             for &o in &sd.toplist {
@@ -261,7 +278,7 @@ impl QueryIndex {
             }
             seen += 1;
             if seen == q.k {
-                return Some((o, naive::score(instance.object(o), &q.weights)));
+                return Some((o, instance.objects_flat().dot_row(o, &q.weights)));
             }
         }
         // Candidate list exhausted: fewer than k other objects exist in
@@ -294,6 +311,7 @@ impl QueryIndex {
         if self.subdomain_of.len() != instance.num_queries() {
             return Err("assignment length mismatch".into());
         }
+        let mut scratch = Vec::new();
         for (qi, &sd) in self.subdomain_of.iter().enumerate() {
             let entry = self
                 .subdomains
@@ -303,10 +321,11 @@ impl QueryIndex {
                 return Err(format!("query {qi} missing from its subdomain member list"));
             }
             // The stored toplist must equal the query's actual ranking.
-            let actual: Vec<u32> = naive::top_k(
-                instance.objects(),
+            let actual: Vec<u32> = naive::top_k_flat(
+                instance.objects_flat(),
                 &instance.queries()[qi].weights,
                 self.kprime,
+                &mut scratch,
             )
             .into_iter()
             .map(|i| i as u32)

@@ -336,6 +336,35 @@ mod tests {
     }
 
     #[test]
+    fn apply_keeps_flat_mirrors_coherent_with_table() {
+        let mut objs = object_table();
+        let qt = query_table();
+        let stmt = improve_stmt("IMPROVE objs USING prefs WHERE id = 1 MINCOST 2 APPLY");
+        improve(&mut objs, &qt, &stmt).unwrap();
+        // Rebuild an instance from the written-back table: the SoA mirrors
+        // must agree bitwise with the nested rows, and scoring through
+        // either layout must give identical results (the IMPROVE path
+        // evaluated candidates through the flat kernels; the round-trip
+        // through SQL `Value`s must not perturb a single bit).
+        let (inst, _) = build_instance(&objs, &qt).unwrap();
+        for i in 0..inst.num_objects() {
+            assert_eq!(inst.objects_flat().row(i), inst.object(i), "object {i}");
+        }
+        for (qi, q) in inst.queries().iter().enumerate() {
+            assert_eq!(
+                inst.weights_flat().row(qi),
+                q.weights.as_slice(),
+                "query {qi}"
+            );
+            for i in 0..inst.num_objects() {
+                let nested = iq_geometry::vector::dot(&q.weights, inst.object(i));
+                let flat = inst.weights_flat().dot_row(qi, inst.object(i));
+                assert_eq!(nested.to_bits(), flat.to_bits(), "score q{qi}/o{i}");
+            }
+        }
+    }
+
+    #[test]
     fn apply_writes_back() {
         let mut objs = object_table();
         let qt = query_table();

@@ -18,7 +18,9 @@
 //! The remaining modules serve the index layer: [`bbox`] gives the R-tree
 //! its pruning predicates, [`sweep`] provides plane-sweep intersection
 //! discovery (the paper's citation \[15\]), and [`hull`] supports the onion
-//! top-k baseline.
+//! top-k baseline. [`matrix`] is the flat evaluation substrate: contiguous
+//! row-major storage plus batched dot-product kernels that preserve the
+//! scalar summation order bit-for-bit (see DESIGN.md §9).
 
 #![warn(missing_docs)]
 
@@ -26,11 +28,13 @@ pub mod bbox;
 pub mod bsp;
 pub mod hull;
 pub mod hyperplane;
+pub mod matrix;
 pub mod sweep;
 pub mod vector;
 
 pub use bbox::{BoundingBox, BoxSide};
 pub use hyperplane::{Hyperplane, Side, Slab};
+pub use matrix::FlatMatrix;
 pub use vector::Vector;
 
 // Marker-trait audit: the evaluation core shares these read-only across
@@ -42,4 +46,5 @@ const _: () = {
     assert_send_sync::<Hyperplane>();
     assert_send_sync::<Slab>();
     assert_send_sync::<BoundingBox>();
+    assert_send_sync::<FlatMatrix>();
 };

@@ -189,6 +189,19 @@ impl GroupedQueryIndex {
         }
     }
 
+    /// Seals every tree-backed group into its arena form (see
+    /// [`RTree::optimize`]). Call when the forest becomes read-only — e.g.
+    /// once `iq-core::ese::EvalContext` finishes grouping — so slab scans
+    /// run over flat node arrays; later inserts transparently unseal the
+    /// affected group.
+    pub fn optimize(&mut self) {
+        for store in self.groups.values_mut() {
+            if let GroupStore::Tree(t) = store {
+                t.optimize();
+            }
+        }
+    }
+
     /// Rough in-memory footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         self.groups

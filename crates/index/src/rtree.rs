@@ -87,10 +87,42 @@ impl<T> Node<T> {
     }
 }
 
+/// A flattened (arena) node: `start..end` indexes into the arena's `nodes`
+/// vector for internal nodes and into its `entries` vector for leaves.
+#[derive(Debug, Clone)]
+struct ArenaNode {
+    bbox: BoundingBox,
+    start: u32,
+    end: u32,
+    leaf: bool,
+}
+
+/// Read-optimised tree storage: every node lives in one flat `Vec` (children
+/// of a node are contiguous, in BFS order) and every entry lives in a second
+/// flat `Vec` grouped by leaf. Slab/box scans walk index ranges with an
+/// explicit stack instead of chasing `Box` pointers, which is where the
+/// evaluation loop of §4.2 spends its index time.
+#[derive(Debug, Clone)]
+struct Arena<T> {
+    nodes: Vec<ArenaNode>,
+    entries: Vec<Entry<T>>,
+}
+
+/// The two storage forms of a tree. `Dynamic` supports insert/remove;
+/// `Arena` is the sealed read-only form produced by [`RTree::bulk`] and
+/// [`RTree::optimize`]. The first mutation after sealing converts back to
+/// `Dynamic` once (shape-preserving, O(n)) and the tree then stays dynamic
+/// until re-sealed.
+#[derive(Debug, Clone)]
+enum Repr<T> {
+    Dynamic(Node<T>),
+    Arena(Arena<T>),
+}
+
 /// A dynamic R-tree over `d`-dimensional points with payloads of type `T`.
 #[derive(Debug, Clone)]
 pub struct RTree<T> {
-    root: Node<T>,
+    repr: Repr<T>,
     dim: usize,
     max_entries: usize,
     min_entries: usize,
@@ -116,7 +148,7 @@ impl<T> RTree<T> {
         assert!(max_entries >= 4, "R-tree node capacity must be at least 4");
         assert!(dim > 0, "R-tree dimension must be positive");
         RTree {
-            root: Node::Leaf(Vec::new()),
+            repr: Repr::Dynamic(Node::Leaf(Vec::new())),
             dim,
             max_entries,
             min_entries: max_entries / 2,
@@ -130,13 +162,74 @@ impl<T> RTree<T> {
         self.split
     }
 
-    /// Bulk-builds a tree from points by repeated insertion.
+    /// Bulk-builds a sealed (arena) tree with Sort-Tile-Recursive packing:
+    /// at each level the points are sorted along the widest-spread axis and
+    /// cut into evenly sized runs of capacity `max^(h-1)`, which yields
+    /// uniform leaf depth and at-least-half-full nodes by construction.
     pub fn bulk(dim: usize, items: impl IntoIterator<Item = (Vec<f64>, T)>) -> Self {
-        let mut t = Self::new(dim);
-        for (p, d) in items {
-            t.insert(p, d);
+        assert!(dim > 0, "R-tree dimension must be positive");
+        let max = DEFAULT_MAX_ENTRIES;
+        let entries: Vec<Entry<T>> = items
+            .into_iter()
+            .map(|(point, data)| {
+                assert_eq!(point.len(), dim, "point dimension mismatch");
+                Entry { point, data }
+            })
+            .collect();
+        let len = entries.len();
+        // Smallest height whose capacity max^h covers every entry.
+        let mut height = 1usize;
+        let mut cap = max;
+        while cap < len {
+            cap *= max;
+            height += 1;
         }
-        t
+        let root = str_build(entries, dim, max, height);
+        RTree {
+            repr: Repr::Arena(flatten(root, dim)),
+            dim,
+            max_entries: max,
+            min_entries: max / 2,
+            split: SplitAlgorithm::Quadratic,
+            len,
+        }
+    }
+
+    /// Seals the tree into its arena form: nodes move into one flat vector
+    /// (children contiguous, BFS order), entries into another, and every
+    /// read path switches to iterative index-range scans. Call once the
+    /// tree stops changing; a later [`RTree::insert`] / [`RTree::remove`]
+    /// transparently converts back (one O(n) rebuild, shape preserved).
+    pub fn optimize(&mut self) {
+        if let Repr::Dynamic(root) = &mut self.repr {
+            let root = std::mem::replace(root, Node::Leaf(Vec::new()));
+            self.repr = Repr::Arena(flatten(root, self.dim));
+        }
+    }
+
+    /// Whether the tree is currently in its sealed (arena) form.
+    pub fn is_sealed(&self) -> bool {
+        matches!(self.repr, Repr::Arena(_))
+    }
+
+    /// Converts a sealed tree back to the pointer form, preserving shape.
+    fn make_dynamic(&mut self) {
+        if let Repr::Arena(arena) = &mut self.repr {
+            let arena = std::mem::replace(
+                arena,
+                Arena {
+                    nodes: Vec::new(),
+                    entries: Vec::new(),
+                },
+            );
+            let mut slots: Vec<Option<Entry<T>>> = arena.entries.into_iter().map(Some).collect();
+            let root = if arena.nodes.is_empty() {
+                Node::Leaf(Vec::new())
+            } else {
+                unflatten(&arena.nodes, 0, &mut slots)
+            };
+            self.repr = Repr::Dynamic(root);
+        }
     }
 
     /// Number of stored entries.
@@ -156,18 +249,38 @@ impl<T> RTree<T> {
 
     /// Height of the tree (a single leaf root has height 1).
     pub fn height(&self) -> usize {
-        let mut h = 1;
-        let mut node = &self.root;
-        while let Node::Internal(children) = node {
-            h += 1;
-            node = &children[0].node;
+        match &self.repr {
+            Repr::Dynamic(root) => {
+                let mut h = 1;
+                let mut node = root;
+                while let Node::Internal(children) = node {
+                    h += 1;
+                    node = &children[0].node;
+                }
+                h
+            }
+            Repr::Arena(a) => {
+                let mut h = 1;
+                let mut i = 0usize;
+                while !a.nodes.is_empty() && !a.nodes[i].leaf {
+                    h += 1;
+                    i = a.nodes[i].start as usize;
+                }
+                h
+            }
         }
-        h
     }
 
     /// The minimum bounding box of all stored points.
     pub fn bbox(&self) -> BoundingBox {
-        self.root.compute_bbox(self.dim)
+        match &self.repr {
+            Repr::Dynamic(root) => root.compute_bbox(self.dim),
+            Repr::Arena(a) => a
+                .nodes
+                .first()
+                .map(|n| n.bbox.clone())
+                .unwrap_or_else(|| BoundingBox::empty(self.dim)),
+        }
     }
 
     /// Rough in-memory footprint in bytes, used by the index-size
@@ -188,7 +301,13 @@ impl<T> RTree<T> {
                 }
             }
         }
-        walk(&self.root, self.dim)
+        match &self.repr {
+            Repr::Dynamic(root) => walk(root, self.dim),
+            Repr::Arena(a) => {
+                a.nodes.len() * (std::mem::size_of::<ArenaNode>() + self.dim * 16)
+                    + a.entries.len() * (self.dim * 8 + std::mem::size_of::<T>())
+            }
+        }
     }
 
     /// Inserts a point with its payload.
@@ -197,15 +316,18 @@ impl<T> RTree<T> {
     /// Panics if the point's dimensionality does not match the tree's.
     pub fn insert(&mut self, point: Vec<f64>, data: T) {
         assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        self.make_dynamic();
         let max = self.max_entries;
         let dim = self.dim;
         let split = self.split;
-        if let Some((left, right)) =
-            Self::insert_rec(&mut self.root, Entry { point, data }, max, dim, split)
+        let Repr::Dynamic(root) = &mut self.repr else {
+            unreachable!("make_dynamic left an arena repr");
+        };
+        if let Some((left, right)) = Self::insert_rec(root, Entry { point, data }, max, dim, split)
         {
             // Root split: grow the tree upward. The old root was emptied by
             // `insert_rec` (its contents moved into the two halves).
-            self.root = Node::Internal(vec![left, right]);
+            *root = Node::Internal(vec![left, right]);
         }
         self.len += 1;
     }
@@ -258,21 +380,28 @@ impl<T> RTree<T> {
     /// Returns the removed payload, or `None` if nothing matched.
     pub fn remove(&mut self, point: &[f64], pred: impl Fn(&T) -> bool) -> Option<T> {
         assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        self.make_dynamic();
         let dim = self.dim;
         let min = self.min_entries;
         let mut orphans: Vec<Entry<T>> = Vec::new();
-        let removed = Self::remove_rec(&mut self.root, point, &pred, dim, min, &mut orphans);
+        let Repr::Dynamic(root) = &mut self.repr else {
+            unreachable!("make_dynamic left an arena repr");
+        };
+        let removed = Self::remove_rec(root, point, &pred, dim, min, &mut orphans);
         if removed.is_some() {
             self.len -= 1;
             // Shrink a root with a single internal child.
             loop {
-                match &mut self.root {
+                let Repr::Dynamic(root) = &mut self.repr else {
+                    unreachable!("remove never re-seals the tree");
+                };
+                match root {
                     Node::Internal(children) if children.len() == 1 => {
                         let only = children.pop().unwrap();
-                        self.root = *only.node;
+                        *root = *only.node;
                     }
                     Node::Internal(children) if children.is_empty() => {
-                        self.root = Node::Leaf(Vec::new());
+                        *root = Node::Leaf(Vec::new());
                         break;
                     }
                     _ => break,
@@ -360,7 +489,19 @@ impl<T> RTree<T> {
                 }
             }
         }
-        rec(&self.root, window, visit);
+        match &self.repr {
+            Repr::Dynamic(root) => rec(root, window, visit),
+            Repr::Arena(a) => {
+                a.visit_where(
+                    |bbox| window.intersects(bbox),
+                    |e| {
+                        if window.contains_point(&e.point) {
+                            visit(e);
+                        }
+                    },
+                );
+            }
+        }
     }
 
     /// Collects every entry inside the affected subspace described by
@@ -391,7 +532,19 @@ impl<T> RTree<T> {
                 }
             }
         }
-        rec(&self.root, slab, visit);
+        match &self.repr {
+            Repr::Dynamic(root) => rec(root, slab, visit),
+            Repr::Arena(a) => {
+                a.visit_where(
+                    |bbox| !bbox.disjoint_from_slab(slab),
+                    |e| {
+                        if slab.contains(&e.point) {
+                            visit(e);
+                        }
+                    },
+                );
+            }
+        }
     }
 
     /// Tolerance-widened affected-subspace query: entries within `tol` of
@@ -426,7 +579,19 @@ impl<T> RTree<T> {
                 }
             }
         }
-        rec(&self.root, slab, tol, visit);
+        match &self.repr {
+            Repr::Dynamic(root) => rec(root, slab, tol, visit),
+            Repr::Arena(a) => {
+                a.visit_where(
+                    |bbox| !bbox.disjoint_from_slab_tol(slab, tol),
+                    |e| {
+                        if slab.contains_tol(&e.point, tol) {
+                            visit(e);
+                        }
+                    },
+                );
+            }
+        }
     }
 
     /// The `k` entries nearest to `q` by Euclidean distance, closest first.
@@ -439,6 +604,7 @@ impl<T> RTree<T> {
         // Best-first search over nodes and entries ordered by min distance.
         enum Item<'a, T> {
             Node(&'a Node<T>),
+            ArenaNode(&'a Arena<T>, u32),
             Entry(&'a Entry<T>),
         }
         struct Pq<'a, T> {
@@ -467,10 +633,20 @@ impl<T> RTree<T> {
         }
 
         let mut heap: BinaryHeap<Pq<'_, T>> = BinaryHeap::new();
-        heap.push(Pq {
-            dist: 0.0,
-            item: Item::Node(&self.root),
-        });
+        match &self.repr {
+            Repr::Dynamic(root) => heap.push(Pq {
+                dist: 0.0,
+                item: Item::Node(root),
+            }),
+            Repr::Arena(a) => {
+                if !a.nodes.is_empty() {
+                    heap.push(Pq {
+                        dist: 0.0,
+                        item: Item::ArenaNode(a, 0),
+                    });
+                }
+            }
+        }
         let mut out = Vec::with_capacity(k);
         while let Some(Pq { dist, item }) = heap.pop() {
             match item {
@@ -497,6 +673,25 @@ impl<T> RTree<T> {
                         });
                     }
                 }
+                Item::ArenaNode(a, i) => {
+                    let node = &a.nodes[i as usize];
+                    if node.leaf {
+                        for e in &a.entries[node.start as usize..node.end as usize] {
+                            let d = iq_geometry::vector::dist_sq(q, &e.point);
+                            heap.push(Pq {
+                                dist: d,
+                                item: Item::Entry(e),
+                            });
+                        }
+                    } else {
+                        for ci in node.start..node.end {
+                            heap.push(Pq {
+                                dist: a.nodes[ci as usize].bbox.min_dist_sq(q),
+                                item: Item::ArenaNode(a, ci),
+                            });
+                        }
+                    }
+                }
             }
         }
         out
@@ -504,26 +699,26 @@ impl<T> RTree<T> {
 
     /// Iterates over every stored entry (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = &Entry<T>> {
-        let mut stack = vec![&self.root];
-        std::iter::from_fn(move || loop {
-            let node = stack.pop()?;
-            match node {
-                Node::Leaf(entries) => {
-                    if !entries.is_empty() {
-                        // Flatten leaf entries through a secondary stack by
-                        // pushing them as one-off leaves is awkward; instead
-                        // return a chunk at a time via recursion below.
+        let mut stack: Vec<&Node<T>> = Vec::new();
+        let mut arena_entries: &[Entry<T>] = &[];
+        match &self.repr {
+            Repr::Dynamic(root) => stack.push(root),
+            Repr::Arena(a) => arena_entries = &a.entries,
+        }
+        arena_entries.iter().chain(
+            std::iter::from_fn(move || loop {
+                let node = stack.pop()?;
+                match node {
+                    Node::Leaf(entries) => return Some(entries),
+                    Node::Internal(children) => {
+                        for c in children {
+                            stack.push(&c.node);
+                        }
                     }
-                    return Some(entries);
                 }
-                Node::Internal(children) => {
-                    for c in children {
-                        stack.push(&c.node);
-                    }
-                }
-            }
-        })
-        .flatten()
+            })
+            .flatten(),
+        )
     }
 
     /// Structural invariant checks, used by tests: MBRs cover children,
@@ -577,16 +772,94 @@ impl<T> RTree<T> {
                 }
             }
         }
+        // Same checks over the arena form; returns (entry count, actual
+        // bbox) so parents can verify their stored MBR covers the contents.
+        fn rec_arena<T>(
+            a: &Arena<T>,
+            idx: usize,
+            dim: usize,
+            max: usize,
+            min: usize,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) -> Result<(usize, BoundingBox), String> {
+            // Index 0 is always the root in the BFS layout.
+            let is_root = idx == 0;
+            let node = &a.nodes[idx];
+            let mut actual = BoundingBox::empty(dim);
+            if node.leaf {
+                match leaf_depth {
+                    Some(d) if *d != depth => {
+                        return Err(format!("leaf at depth {depth}, expected {d}"))
+                    }
+                    None => *leaf_depth = Some(depth),
+                    _ => {}
+                }
+                let n = (node.end - node.start) as usize;
+                if !is_root && n < min {
+                    return Err(format!("leaf underfull: {n} < {min}"));
+                }
+                if n > max {
+                    return Err(format!("leaf overfull: {n} > {max}"));
+                }
+                for e in &a.entries[node.start as usize..node.end as usize] {
+                    actual.merge_point(&e.point);
+                }
+                Ok((n, actual))
+            } else {
+                let n = (node.end - node.start) as usize;
+                if n == 0 {
+                    return Err("empty internal node".into());
+                }
+                if !is_root && n < min {
+                    return Err(format!("internal underfull: {n} < {min}"));
+                }
+                if n > max {
+                    return Err(format!("internal overfull: {n} > {max}"));
+                }
+                let mut total = 0;
+                for ci in node.start..node.end {
+                    let (count, child_actual) =
+                        rec_arena(a, ci as usize, dim, max, min, depth + 1, leaf_depth)?;
+                    if !a.nodes[ci as usize].bbox.contains_box(&child_actual) {
+                        return Err("MBR does not cover child".into());
+                    }
+                    total += count;
+                    actual.merge(&child_actual);
+                }
+                Ok((total, actual))
+            }
+        }
         let mut leaf_depth = None;
-        let total = rec(
-            &self.root,
-            self.dim,
-            self.max_entries,
-            self.min_entries,
-            true,
-            0,
-            &mut leaf_depth,
-        )?;
+        let total = match &self.repr {
+            Repr::Dynamic(root) => rec(
+                root,
+                self.dim,
+                self.max_entries,
+                self.min_entries,
+                true,
+                0,
+                &mut leaf_depth,
+            )?,
+            Repr::Arena(a) => {
+                if a.nodes.is_empty() {
+                    return Err("arena without a root node".into());
+                }
+                let (total, actual) = rec_arena(
+                    a,
+                    0,
+                    self.dim,
+                    self.max_entries,
+                    self.min_entries,
+                    0,
+                    &mut leaf_depth,
+                )?;
+                if !a.nodes[0].bbox.contains_box(&actual) {
+                    return Err("root MBR does not cover contents".into());
+                }
+                total
+            }
+        };
         if total != self.len {
             return Err(format!(
                 "len mismatch: counted {total}, stored {}",
@@ -594,6 +867,160 @@ impl<T> RTree<T> {
             ));
         }
         Ok(())
+    }
+}
+
+impl<T> Arena<T> {
+    /// Iterative pruned traversal shared by the box and slab scans: descend
+    /// into children whose bbox passes `enter` (the root is never tested,
+    /// matching the recursive path), and hand every entry of each surviving
+    /// leaf to `leaf_visit`. Children are pushed in reverse so pop order
+    /// equals child order — the visit sequence is exactly the recursion's.
+    fn visit_where<'a>(
+        &'a self,
+        enter: impl Fn(&BoundingBox) -> bool,
+        mut leaf_visit: impl FnMut(&'a Entry<T>),
+    ) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(i) = stack.pop() {
+            let node = &self.nodes[i as usize];
+            if node.leaf {
+                for e in &self.entries[node.start as usize..node.end as usize] {
+                    leaf_visit(e);
+                }
+            } else {
+                for ci in (node.start..node.end).rev() {
+                    if enter(&self.nodes[ci as usize].bbox) {
+                        stack.push(ci);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sort-Tile-Recursive packing to an explicit target height: sort along the
+/// widest-spread axis, cut into `ceil(n / max^(height-1))` even runs, and
+/// recurse per run. Even cuts keep every node at least half full and every
+/// leaf at the same depth (see DESIGN.md §9).
+fn str_build<T>(mut items: Vec<Entry<T>>, dim: usize, max: usize, height: usize) -> Node<T> {
+    if height == 1 {
+        debug_assert!(items.len() <= max);
+        return Node::Leaf(items);
+    }
+    let n = items.len();
+    let cap = max.pow(height as u32 - 1);
+    let children_count = n.div_ceil(cap);
+    debug_assert!((2..=max).contains(&children_count));
+
+    let axis = widest_axis(&items, dim);
+    items.sort_by(|a, b| {
+        a.point[axis]
+            .partial_cmp(&b.point[axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let base = n / children_count;
+    let rem = n % children_count;
+    let mut children = Vec::with_capacity(children_count);
+    let mut iter = items.into_iter();
+    for i in 0..children_count {
+        let take = base + usize::from(i < rem);
+        let group: Vec<Entry<T>> = iter.by_ref().take(take).collect();
+        let node = str_build(group, dim, max, height - 1);
+        let bbox = node.compute_bbox(dim);
+        children.push(Child {
+            bbox,
+            node: Box::new(node),
+        });
+    }
+    Node::Internal(children)
+}
+
+/// The axis with the largest coordinate spread (ties to the lowest axis).
+fn widest_axis<T>(items: &[Entry<T>], dim: usize) -> usize {
+    let mut b = BoundingBox::empty(dim);
+    for e in items {
+        b.merge_point(&e.point);
+    }
+    let mut best = 0;
+    let mut best_spread = f64::NEG_INFINITY;
+    for axis in 0..dim {
+        let spread = b.hi()[axis] - b.lo()[axis];
+        if spread > best_spread {
+            best_spread = spread;
+            best = axis;
+        }
+    }
+    best
+}
+
+/// Flattens a pointer tree into the arena form, BFS order: a node's
+/// children are contiguous in `nodes`, a leaf's entries contiguous in
+/// `entries` (level order puts leaf runs in left-to-right scan order).
+fn flatten<T>(root: Node<T>, dim: usize) -> Arena<T> {
+    let root_bbox = root.compute_bbox(dim);
+    let mut nodes: Vec<ArenaNode> = vec![ArenaNode {
+        bbox: root_bbox,
+        start: 0,
+        end: 0,
+        leaf: true,
+    }];
+    let mut entries: Vec<Entry<T>> = Vec::new();
+    let mut queue: std::collections::VecDeque<(usize, Node<T>)> = std::collections::VecDeque::new();
+    queue.push_back((0, root));
+    while let Some((idx, node)) = queue.pop_front() {
+        match node {
+            Node::Leaf(es) => {
+                nodes[idx].leaf = true;
+                nodes[idx].start = u32::try_from(entries.len()).expect("arena entry overflow");
+                entries.extend(es);
+                nodes[idx].end = u32::try_from(entries.len()).expect("arena entry overflow");
+            }
+            Node::Internal(children) => {
+                let start = u32::try_from(nodes.len()).expect("arena node overflow");
+                nodes[idx].leaf = false;
+                nodes[idx].start = start;
+                nodes[idx].end = start + children.len() as u32;
+                for c in children {
+                    let ci = nodes.len();
+                    nodes.push(ArenaNode {
+                        bbox: c.bbox,
+                        start: 0,
+                        end: 0,
+                        leaf: true,
+                    });
+                    queue.push_back((ci, *c.node));
+                }
+            }
+        }
+    }
+    Arena { nodes, entries }
+}
+
+/// Rebuilds the pointer form of an arena subtree, moving entries out of
+/// `slots` (shape is preserved exactly, so all structural invariants carry
+/// over to the dynamic form).
+fn unflatten<T>(nodes: &[ArenaNode], idx: usize, slots: &mut [Option<Entry<T>>]) -> Node<T> {
+    let node = &nodes[idx];
+    if node.leaf {
+        Node::Leaf(
+            (node.start..node.end)
+                .map(|i| slots[i as usize].take().expect("entry moved twice"))
+                .collect(),
+        )
+    } else {
+        Node::Internal(
+            (node.start..node.end)
+                .map(|ci| Child {
+                    bbox: nodes[ci as usize].bbox.clone(),
+                    node: Box::new(unflatten(nodes, ci as usize, slots)),
+                })
+                .collect(),
+        )
     }
 }
 
@@ -1167,5 +1594,144 @@ mod tests {
             t.insert(vec![i as f64, 0.0, 0.0], i);
         }
         assert!(t.size_bytes() > empty);
+    }
+
+    #[test]
+    fn bulk_is_sealed_and_well_formed() {
+        for n in [0usize, 1, 5, 16, 17, 100, 257, 1000] {
+            let mut rnd = lcg(n as u64 + 3);
+            let pts: Vec<Vec<f64>> = (0..n).map(|_| vec![rnd() * 10.0, rnd() * 10.0]).collect();
+            let t = RTree::bulk(2, pts.iter().cloned().zip(0..n));
+            assert!(t.is_sealed(), "n = {n}");
+            assert_eq!(t.len(), n);
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("bulk n = {n}: {e}"));
+            let mut ids: Vec<usize> = t.iter().map(|e| e.data).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..n).collect::<Vec<_>>(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bulk_matches_naive_box_and_slab() {
+        let mut rnd = lcg(55);
+        let pts: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rnd() * 2.0 - 1.0, rnd() * 2.0 - 1.0])
+            .collect();
+        let t = RTree::bulk(2, pts.iter().cloned().zip(0..pts.len()));
+        for trial in 0..20 {
+            let lo = vec![rnd() * 1.6 - 1.0, rnd() * 1.6 - 1.0];
+            let hi: Vec<f64> = lo.iter().map(|l| l + rnd() * 0.8).collect();
+            let w = BoundingBox::new(lo, hi);
+            let mut got: Vec<usize> = t.search_box(&w).iter().map(|e| e.data).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| w.contains_point(p))
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "bulk window trial {trial}");
+
+            let p = Vector::from([rnd() * 2.0 - 1.0, rnd() * 2.0 - 1.0]);
+            let o = Vector::from([rnd() * 2.0 - 1.0, rnd() * 2.0 - 1.0]);
+            let s = Vector::from([rnd() * 0.6 - 0.3, rnd() * 0.6 - 0.3]);
+            let Some(slab) = Slab::affected_subspace(&p, &o, &s) else {
+                continue;
+            };
+            let mut got: Vec<usize> = t.search_slab(&slab).iter().map(|e| e.data).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| slab.contains(q))
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "bulk slab trial {trial}");
+        }
+    }
+
+    #[test]
+    fn optimize_preserves_every_read_path() {
+        let mut rnd = lcg(17);
+        let pts: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rnd() * 4.0, rnd() * 4.0, rnd() * 4.0])
+            .collect();
+        let mut dynamic = RTree::new(3);
+        for (i, p) in pts.iter().enumerate() {
+            dynamic.insert(p.clone(), i);
+        }
+        let mut sealed = dynamic.clone();
+        sealed.optimize();
+        assert!(sealed.is_sealed() && !dynamic.is_sealed());
+        sealed.check_invariants().unwrap();
+        assert_eq!(sealed.len(), dynamic.len());
+        assert_eq!(sealed.height(), dynamic.height());
+        assert_eq!(sealed.bbox().lo(), dynamic.bbox().lo());
+        assert_eq!(sealed.bbox().hi(), dynamic.bbox().hi());
+        // Sealing preserves the tree shape, so pruned scans must visit the
+        // same entries in the same order, not merely the same set.
+        for trial in 0..10 {
+            let p = Vector::from([rnd() * 4.0, rnd() * 4.0, rnd() * 4.0]);
+            let o = Vector::from([rnd() * 4.0, rnd() * 4.0, rnd() * 4.0]);
+            let s = Vector::from([rnd() - 0.5, rnd() - 0.5, rnd() - 0.5]);
+            let Some(slab) = Slab::affected_subspace(&p, &o, &s) else {
+                continue;
+            };
+            let a: Vec<usize> = dynamic.search_slab(&slab).iter().map(|e| e.data).collect();
+            let b: Vec<usize> = sealed.search_slab(&slab).iter().map(|e| e.data).collect();
+            assert_eq!(a, b, "slab visit order trial {trial}");
+            let a: Vec<usize> = dynamic
+                .nearest_k(p.as_slice(), 7)
+                .iter()
+                .map(|(e, _)| e.data)
+                .collect();
+            let b: Vec<usize> = sealed
+                .nearest_k(p.as_slice(), 7)
+                .iter()
+                .map(|(e, _)| e.data)
+                .collect();
+            assert_eq!(a, b, "knn trial {trial}");
+        }
+    }
+
+    #[test]
+    fn mutating_a_sealed_tree_unseals_once_and_stays_correct() {
+        let mut rnd = lcg(23);
+        let pts: Vec<Vec<f64>> = (0..200).map(|_| vec![rnd() * 10.0, rnd() * 10.0]).collect();
+        let mut t = RTree::bulk(2, pts.iter().cloned().zip(0..pts.len()));
+        assert!(t.is_sealed());
+        t.insert(vec![5.0, 5.0], 999);
+        assert!(!t.is_sealed());
+        assert_eq!(t.len(), 201);
+        t.check_invariants().unwrap();
+        assert_eq!(t.remove(&[5.0, 5.0], |&d| d == 999), Some(999));
+        assert_eq!(t.remove(&pts[0], |&d| d == 0), Some(0));
+        t.check_invariants().unwrap();
+        let everything = BoundingBox::new(vec![-1.0, -1.0], vec![11.0, 11.0]);
+        let mut left: Vec<usize> = t.search_box(&everything).iter().map(|e| e.data).collect();
+        left.sort_unstable();
+        assert_eq!(left, (1..200).collect::<Vec<_>>());
+        // Re-seal and verify the survivors again through the arena path.
+        t.optimize();
+        t.check_invariants().unwrap();
+        let mut left: Vec<usize> = t.search_box(&everything).iter().map(|e| e.data).collect();
+        left.sort_unstable();
+        assert_eq!(left, (1..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_empty_and_degenerate() {
+        let t: RTree<u32> = RTree::bulk(2, Vec::new());
+        assert!(t.is_empty() && t.is_sealed());
+        assert_eq!(t.height(), 1);
+        t.check_invariants().unwrap();
+        assert!(t.nearest_k(&[0.0, 0.0], 3).is_empty());
+        // Heavily duplicated points still pack into a valid tree.
+        let dup = RTree::bulk(2, (0..100).map(|i| (vec![1.0, 1.0], i)));
+        dup.check_invariants().unwrap();
+        assert_eq!(dup.search_box(&BoundingBox::point(&[1.0, 1.0])).len(), 100);
     }
 }

@@ -1,9 +1,10 @@
 //! Property-based tests: the R-tree and grouped index must behave exactly
 //! like a naive list of points under arbitrary insert/remove interleavings.
 
-use iq_geometry::{BoundingBox, Slab, Vector};
+use iq_geometry::{BoundingBox, Hyperplane, Slab, Vector};
 use iq_index::{BloomFilter, GroupedQueryIndex, RTree};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 fn coord() -> impl Strategy<Value = f64> {
     // Small integer lattice: guarantees duplicates and boundary hits occur.
@@ -151,5 +152,87 @@ proptest! {
         for k in &keys {
             prop_assert!(f.may_contain(k));
         }
+    }
+
+    /// The tolerance-widened slab scan must report a superset of the plain
+    /// scan (every affected query plus every boundary-tied one), through
+    /// both the pointer-chasing and the sealed arena read paths. The
+    /// lattice coordinates make exact boundary ties common, so the widened
+    /// set is regularly a *strict* superset here.
+    #[test]
+    fn slab_tol_is_superset_on_dynamic_and_arena(
+        pts in prop::collection::vec(point(2), 1..100),
+        p in point(2), o in point(2), s in point(2),
+        tol_steps in 0usize..3,
+    ) {
+        let tol = tol_steps as f64 * 0.25;
+        let pv = Vector::new(p);
+        let ov = Vector::new(o);
+        let sv = Vector::new(s);
+        let Some(slab) = Slab::affected_subspace(&pv, &ov, &sv) else {
+            return Ok(());
+        };
+        let mut dynamic: RTree<usize> = RTree::with_capacity(2, 4);
+        for (i, q) in pts.iter().enumerate() {
+            dynamic.insert(q.clone(), i);
+        }
+        let arena = RTree::bulk(2, pts.iter().cloned().zip(0..pts.len()));
+        prop_assert!(arena.is_sealed() && !dynamic.is_sealed());
+        let want_widened: BTreeSet<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| slab.contains_tol(q, tol))
+            .map(|(i, _)| i)
+            .collect();
+        for (name, tree) in [("dynamic", &dynamic), ("arena", &arena)] {
+            let mut plain = BTreeSet::new();
+            tree.visit_slab(&slab, &mut |e| {
+                plain.insert(e.data);
+            });
+            let mut widened = BTreeSet::new();
+            tree.visit_slab_tol(&slab, tol, &mut |e| {
+                widened.insert(e.data);
+            });
+            prop_assert!(widened.is_superset(&plain), "{} repr lost entries", name);
+            prop_assert_eq!(&widened, &want_widened, "{} repr vs naive tol filter", name);
+        }
+    }
+}
+
+/// Deterministic boundary-tie instance where the widened scan must be a
+/// *strict* superset: one point inside the slab, one within `tol` outside
+/// each boundary, one far away — on both tree representations.
+#[test]
+fn slab_tol_strictly_wider_on_engineered_boundary_ties() {
+    let slab = Slab::new(
+        Hyperplane::new(Vector::from([1.0, 0.0]), 0.0),
+        Hyperplane::new(Vector::from([1.0, 0.0]), -1.0),
+    );
+    let pts = [
+        vec![0.5, 0.0],  // inside: the form flips sign across the slab
+        vec![1.2, 0.0],  // 0.2 past the `after` boundary
+        vec![-0.2, 0.0], // 0.2 past the `before` boundary
+        vec![3.0, 0.0],  // far outside: must stay excluded
+    ];
+    let mut dynamic: RTree<usize> = RTree::with_capacity(2, 4);
+    for (i, q) in pts.iter().enumerate() {
+        dynamic.insert(q.clone(), i);
+    }
+    let arena = RTree::bulk(2, pts.iter().cloned().zip(0..pts.len()));
+    for (name, tree) in [("dynamic", &dynamic), ("arena", &arena)] {
+        let mut plain = BTreeSet::new();
+        tree.visit_slab(&slab, &mut |e| {
+            plain.insert(e.data);
+        });
+        let mut widened = BTreeSet::new();
+        tree.visit_slab_tol(&slab, 0.25, &mut |e| {
+            widened.insert(e.data);
+        });
+        assert_eq!(plain, BTreeSet::from([0]), "{name}");
+        assert_eq!(widened, BTreeSet::from([0, 1, 2]), "{name}");
+        assert!(
+            widened.is_superset(&plain) && widened.len() > plain.len(),
+            "{name}: widened scan must be strictly wider"
+        );
     }
 }

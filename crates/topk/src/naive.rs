@@ -4,6 +4,19 @@
 //! Ranking convention (fixed across the whole workspace, from Eq. 6 of the
 //! paper): **lower score is better**, ties broken by smaller object id, so
 //! every ranking is a total order.
+//!
+//! Two evaluation layouts are supported with bit-identical results: the
+//! nested `&[Vec<f64>]` functions ([`top_k`], [`full_ranking`],
+//! [`rank_of`]) and `_flat` variants over
+//! [`iq_geometry::matrix::FlatMatrix`] that score through the batched
+//! kernels into a caller-held scratch buffer. Both funnel into the same
+//! selection routines ([`top_k_from_scores`],
+//! [`full_ranking_from_scores`]), so the choice of layout can never change
+//! a ranking.
+
+use iq_geometry::matrix::FlatMatrix;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// A top-k query: a weight vector and a result size.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,35 +50,33 @@ pub fn rank_cmp(a_score: f64, a_id: usize, b_score: f64, b_id: usize) -> std::cm
         .then(a_id.cmp(&b_id))
 }
 
-/// The ids of the `k` best objects for the query, best first.
-///
-/// Runs one pass with a bounded max-heap: `O(n log k)`.
-pub fn top_k(objects: &[Vec<f64>], weights: &[f64], k: usize) -> Vec<usize> {
-    use std::cmp::Ordering;
-    use std::collections::BinaryHeap;
-
-    // Max-heap of (score, id) keeping the k best (smallest) seen so far.
-    #[derive(PartialEq)]
-    struct Worst(f64, usize);
-    impl Eq for Worst {}
-    impl PartialOrd for Worst {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
+// Max-heap entry ordered by `rank_cmp`, shared by every bounded-selection
+// path in this module so the k-best logic exists exactly once.
+#[derive(PartialEq)]
+struct Worst(f64, usize);
+impl Eq for Worst {}
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
-    impl Ord for Worst {
-        fn cmp(&self, other: &Self) -> Ordering {
-            rank_cmp(self.0, self.1, other.0, other.1)
-        }
+}
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        rank_cmp(self.0, self.1, other.0, other.1)
     }
+}
 
-    let k = k.min(objects.len());
+// Bounded max-heap selection of the `k` rank-smallest scores, best first.
+// `k` must already be clamped to the stream length. The only allocations
+// are the heap (once, `k + 1` slots) and the returned id vector:
+// `into_sorted_vec` sorts the heap's own buffer in place instead of
+// collecting into an intermediate `(score, id)` vector.
+fn smallest_k(scores: impl Iterator<Item = f64>, k: usize) -> Vec<usize> {
     if k == 0 {
         return Vec::new();
     }
     let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
-    for (i, o) in objects.iter().enumerate() {
-        let s = score(o, weights);
+    for (i, s) in scores.enumerate() {
         if heap.len() < k {
             heap.push(Worst(s, i));
         } else if let Some(top) = heap.peek() {
@@ -75,20 +86,58 @@ pub fn top_k(objects: &[Vec<f64>], weights: &[f64], k: usize) -> Vec<usize> {
             }
         }
     }
-    let mut out: Vec<(f64, usize)> = heap.into_iter().map(|w| (w.0, w.1)).collect();
-    out.sort_by(|a, b| rank_cmp(a.0, a.1, b.0, b.1));
-    out.into_iter().map(|(_, i)| i).collect()
+    heap.into_sorted_vec().into_iter().map(|w| w.1).collect()
+}
+
+/// The ids of the `k` best objects for the query, best first.
+///
+/// Runs one pass with a bounded max-heap: `O(n log k)`.
+pub fn top_k(objects: &[Vec<f64>], weights: &[f64], k: usize) -> Vec<usize> {
+    let k = k.min(objects.len());
+    smallest_k(objects.iter().map(|o| score(o, weights)), k)
+}
+
+/// [`top_k`] over a flat matrix: scores every row through the batched
+/// kernel into `scratch`, then selects. Bit-identical to
+/// `top_k(&nested, weights, k)` for the same rows.
+pub fn top_k_flat(
+    objects: &FlatMatrix,
+    weights: &[f64],
+    k: usize,
+    scratch: &mut Vec<f64>,
+) -> Vec<usize> {
+    objects.scores_into(weights, scratch);
+    top_k_from_scores(scratch, k)
+}
+
+/// Selects the ids of the `k` rank-smallest entries of a score slice,
+/// best first (`scores[i]` is object `i`'s score).
+pub fn top_k_from_scores(scores: &[f64], k: usize) -> Vec<usize> {
+    let k = k.min(scores.len());
+    smallest_k(scores.iter().copied(), k)
 }
 
 /// The full ranking of all objects for the query (best first).
 pub fn full_ranking(objects: &[Vec<f64>], weights: &[f64]) -> Vec<usize> {
-    let mut scored: Vec<(f64, usize)> = objects
-        .iter()
-        .enumerate()
-        .map(|(i, o)| (score(o, weights), i))
-        .collect();
-    scored.sort_by(|a, b| rank_cmp(a.0, a.1, b.0, b.1));
-    scored.into_iter().map(|(_, i)| i).collect()
+    let scores: Vec<f64> = objects.iter().map(|o| score(o, weights)).collect();
+    full_ranking_from_scores(&scores)
+}
+
+/// [`full_ranking`] over a flat matrix with a reusable scratch buffer.
+pub fn full_ranking_flat(
+    objects: &FlatMatrix,
+    weights: &[f64],
+    scratch: &mut Vec<f64>,
+) -> Vec<usize> {
+    objects.scores_into(weights, scratch);
+    full_ranking_from_scores(scratch)
+}
+
+/// Ranks every id of a score slice, best first.
+pub fn full_ranking_from_scores(scores: &[f64]) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..scores.len()).collect();
+    ids.sort_by(|&a, &b| rank_cmp(scores[a], a, scores[b], b));
+    ids
 }
 
 /// The 1-based rank of `target` under the query.
@@ -99,6 +148,17 @@ pub fn rank_of(objects: &[Vec<f64>], weights: &[f64], target: usize) -> usize {
         .enumerate()
         .filter(|&(i, o)| {
             i != target && rank_cmp(score(o, weights), i, ts, target) == std::cmp::Ordering::Less
+        })
+        .count()
+}
+
+/// [`rank_of`] over a flat matrix.
+pub fn rank_of_flat(objects: &FlatMatrix, weights: &[f64], target: usize) -> usize {
+    let ts = objects.dot_row(target, weights);
+    1 + (0..objects.rows())
+        .filter(|&i| {
+            i != target
+                && rank_cmp(objects.dot_row(i, weights), i, ts, target) == std::cmp::Ordering::Less
         })
         .count()
 }
@@ -117,32 +177,47 @@ pub fn kth_best_excluding(
     k: usize,
     exclude: usize,
 ) -> Option<(usize, f64)> {
-    use std::cmp::Ordering;
-    use std::collections::BinaryHeap;
     let excluded = if exclude < objects.len() { 1 } else { 0 };
     if objects.len() < k + excluded {
         return None;
     }
-    // Bounded max-heap of the k best: O(n log k), no full sort.
-    #[derive(PartialEq)]
-    struct Worst(f64, usize);
-    impl Eq for Worst {}
-    impl PartialOrd for Worst {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
+    kth_of_stream(
+        objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (i, score(o, weights))),
+        k,
+        exclude,
+    )
+}
+
+/// [`kth_best_excluding`] over a flat matrix.
+pub fn kth_best_excluding_flat(
+    objects: &FlatMatrix,
+    weights: &[f64],
+    k: usize,
+    exclude: usize,
+) -> Option<(usize, f64)> {
+    let n = objects.rows();
+    let excluded = if exclude < n { 1 } else { 0 };
+    if n < k + excluded {
+        return None;
     }
-    impl Ord for Worst {
-        fn cmp(&self, other: &Self) -> Ordering {
-            rank_cmp(self.0, self.1, other.0, other.1)
-        }
-    }
+    kth_of_stream((0..n).map(|i| (i, objects.dot_row(i, weights))), k, exclude)
+}
+
+// Bounded max-heap of the k best (skipping `exclude`): O(n log k), no full
+// sort. The heap root is the k-th best of the stream.
+fn kth_of_stream(
+    scored: impl Iterator<Item = (usize, f64)>,
+    k: usize,
+    exclude: usize,
+) -> Option<(usize, f64)> {
     let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
-    for (i, o) in objects.iter().enumerate() {
+    for (i, s) in scored {
         if i == exclude {
             continue;
         }
-        let s = score(o, weights);
         if heap.len() < k {
             heap.push(Worst(s, i));
         } else if let Some(top) = heap.peek() {
@@ -183,6 +258,54 @@ mod tests {
             let full = full_ranking(&o, &w);
             for k in 1..=o.len() {
                 assert_eq!(top_k(&o, &w, k), full[..k].to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_matches_full_ranking_truncation_on_ties() {
+        // Heavily tied instance: four score-1.0 objects straddling the k
+        // boundary, plus duplicates of the best score. The heap selection
+        // must agree with full-sort truncation at every k — in particular
+        // the id tie-breaks at the cut.
+        let o = vec![
+            vec![1.0], // id 0, tied middle
+            vec![0.5], // id 1, tied best
+            vec![1.0], // id 2
+            vec![0.5], // id 3
+            vec![1.0], // id 4
+            vec![2.0], // id 5, worst
+            vec![1.0], // id 6
+        ];
+        let w = [1.0];
+        let full = full_ranking(&o, &w);
+        assert_eq!(full, vec![1, 3, 0, 2, 4, 6, 5]);
+        for k in 0..=o.len() + 2 {
+            assert_eq!(top_k(&o, &w, k), full[..k.min(o.len())].to_vec(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn flat_variants_bit_identical_to_nested() {
+        let o = objs();
+        let m = FlatMatrix::from_rows(2, &o);
+        let mut scratch = Vec::new();
+        for w in [[0.3, 0.7], [1.0, 0.0], [0.5, 0.5]] {
+            assert_eq!(
+                full_ranking_flat(&m, &w, &mut scratch),
+                full_ranking(&o, &w)
+            );
+            for k in 0..=o.len() {
+                assert_eq!(top_k_flat(&m, &w, k, &mut scratch), top_k(&o, &w, k));
+            }
+            for t in 0..o.len() {
+                assert_eq!(rank_of_flat(&m, &w, t), rank_of(&o, &w, t));
+                for k in 1..=o.len() {
+                    assert_eq!(
+                        kth_best_excluding_flat(&m, &w, k, t),
+                        kth_best_excluding(&o, &w, k, t)
+                    );
+                }
             }
         }
     }

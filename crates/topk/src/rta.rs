@@ -12,7 +12,8 @@
 //! and the buffer refreshed. The skip test is one-sided, so the algorithm
 //! is exact — the buffer only saves work, never changes answers.
 
-use crate::naive::{rank_cmp, score, top_k, TopKQuery};
+use crate::naive::{rank_cmp, top_k_flat, TopKQuery};
+use iq_geometry::matrix::FlatMatrix;
 
 /// Result of a reverse top-k evaluation, with work accounting.
 #[derive(Debug, Clone)]
@@ -24,7 +25,23 @@ pub struct RtaResult {
 }
 
 /// Runs RTA: returns the queries hit by `target` plus work statistics.
+///
+/// Thin wrapper over [`reverse_top_k_flat`]: materialises the nested rows
+/// into a [`FlatMatrix`] once (`O(n·d)`, dwarfed by even a single full
+/// evaluation) and evaluates through the batched kernels. Callers that
+/// keep a flat copy alive across calls should use the `_flat` entry point
+/// directly.
 pub fn reverse_top_k(objects: &[Vec<f64>], queries: &[TopKQuery], target: usize) -> RtaResult {
+    let dim = objects.first().map_or(0, |o| o.len());
+    let flat = FlatMatrix::from_rows(dim, objects);
+    reverse_top_k_flat(&flat, queries, target)
+}
+
+/// Runs RTA over a flat object matrix; the hot path of the `RTA-IQ`
+/// comparator. Full evaluations score through
+/// [`crate::naive::top_k_flat`] with one scratch buffer reused across all
+/// queries, so the steady state allocates only the candidate buffers.
+pub fn reverse_top_k_flat(objects: &FlatMatrix, queries: &[TopKQuery], target: usize) -> RtaResult {
     // Process queries in lexicographic weight order so neighbours are
     // similar; remember the original index to report hits.
     let mut order: Vec<usize> = (0..queries.len()).collect();
@@ -38,17 +55,18 @@ pub fn reverse_top_k(objects: &[Vec<f64>], queries: &[TopKQuery], target: usize)
     let mut buffer: Vec<usize> = Vec::new();
     let mut hits = Vec::new();
     let mut full_evaluations = 0usize;
+    let mut scratch: Vec<f64> = Vec::new();
 
     for &qi in &order {
         let q = &queries[qi];
-        let t_score = score(&objects[target], &q.weights);
+        let t_score = objects.dot_row(target, &q.weights);
 
         // Threshold test against the buffered candidates.
         let better = buffer
             .iter()
             .filter(|&&b| {
                 b != target
-                    && rank_cmp(score(&objects[b], &q.weights), b, t_score, target)
+                    && rank_cmp(objects.dot_row(b, &q.weights), b, t_score, target)
                         == std::cmp::Ordering::Less
             })
             .count();
@@ -60,7 +78,7 @@ pub fn reverse_top_k(objects: &[Vec<f64>], queries: &[TopKQuery], target: usize)
         // One pass computes both the result and the refreshed buffer: the
         // buffer keeps one extra entry so near-misses of the next query can
         // still disqualify.
-        buffer = top_k(objects, &q.weights, q.k + 1);
+        buffer = top_k_flat(objects, &q.weights, q.k + 1, &mut scratch);
         if buffer[..q.k.min(buffer.len())].contains(&target) {
             hits.push(qi);
         }
@@ -75,6 +93,11 @@ pub fn reverse_top_k(objects: &[Vec<f64>], queries: &[TopKQuery], target: usize)
 /// Convenience: just the hit count `H(target)`.
 pub fn hit_count(objects: &[Vec<f64>], queries: &[TopKQuery], target: usize) -> usize {
     reverse_top_k(objects, queries, target).hits.len()
+}
+
+/// [`hit_count`] over a flat object matrix.
+pub fn hit_count_flat(objects: &FlatMatrix, queries: &[TopKQuery], target: usize) -> usize {
+    reverse_top_k_flat(objects, queries, target).hits.len()
 }
 
 #[cfg(test)]

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compare two `figures --json` dumps series by series.
+
+Usage:
+    python3 scripts/bench_diff.py BEFORE.json AFTER.json [--timing-only]
+
+Prints one row per series present in both files with the before value,
+after value, and the after/before ratio (< 1.0 means the after build is
+faster / smaller). Series appearing in only one file are listed at the
+end. Exit status is always 0 — this is a reporting tool; the CI bound
+lives in the perf-smoke job.
+"""
+
+import json
+import sys
+
+TIMING_UNITS = {"ms", "s"}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: (float(b["value"]), b.get("unit", "")) for b in doc["benches"]}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    timing_only = "--timing-only" in argv
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    before, after = load(args[0]), load(args[1])
+
+    shared = [n for n in before if n in after]
+    if timing_only:
+        shared = [n for n in shared if before[n][1] in TIMING_UNITS]
+    width = max((len(n) for n in shared), default=4)
+
+    print(f"{'series':<{width}}  {'before':>12}  {'after':>12}  {'ratio':>7}")
+    improved = regressed = 0
+    for name in shared:
+        b, unit = before[name]
+        a, _ = after[name]
+        ratio = a / b if b else float("inf")
+        flag = ""
+        if unit in TIMING_UNITS:
+            if ratio <= 1 / 1.5:
+                flag = "  <<"  # >= 1.5x faster
+                improved += 1
+            elif ratio >= 1.5:
+                flag = "  !!"  # >= 1.5x slower
+                regressed += 1
+        print(f"{name:<{width}}  {b:>12.6g}  {a:>12.6g}  {ratio:>7.3f}{flag}")
+
+    for name in before:
+        if name not in after:
+            print(f"{name}: only in {args[0]}")
+    for name in after:
+        if name not in before:
+            print(f"{name}: only in {args[1]}")
+
+    timing = [n for n in shared if before[n][1] in TIMING_UNITS]
+    print(
+        f"\n{len(shared)} shared series ({len(timing)} timing); "
+        f"{improved} improved >= 1.5x, {regressed} regressed >= 1.5x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
-"""Splice the `figures` binary's output into EXPERIMENTS.md placeholders.
+"""Splice the `figures` binary's output into EXPERIMENTS.md.
 
 Usage: python3 scripts/splice_experiments.py figures_output.txt EXPERIMENTS.md
+
+First fills any `__FIGn__` / `__SETTINGS__` placeholders; for blocks that
+were already populated by a previous run, the measured text inside the
+fenced code block is replaced in place, so re-running after a perf change
+refreshes the record.
 """
 import re
 import sys
@@ -20,14 +25,27 @@ def main() -> None:
         blocks[f"__FIG{m.group(1)}__"] = m.group(0).rstrip()
 
     md = open(md_path).read()
+    refreshed = 0
     for key, value in blocks.items():
-        md = md.replace(key, value)
+        if key in md:
+            md = md.replace(key, value)
+            continue
+        # Already populated: swap the old measured text for the fresh run's
+        # block. Stop at the next figure header or closing fence, whichever
+        # comes first — some fenced blocks hold several figures.
+        first_line = value.splitlines()[0]
+        pattern = re.compile(
+            r"^" + re.escape(first_line) + r".*?(?=\n== Figure |\n```)",
+            re.S | re.M,
+        )
+        md, n = pattern.subn(lambda _: value, md, count=1)
+        refreshed += n
     leftovers = re.findall(r"__(?:FIG\d+|SETTINGS)__", md)
     open(md_path, "w").write(md)
     if leftovers:
         print(f"WARNING: unfilled placeholders: {leftovers}")
     else:
-        print("EXPERIMENTS.md fully populated.")
+        print(f"EXPERIMENTS.md fully populated ({refreshed} blocks refreshed).")
 
 
 if __name__ == "__main__":
