@@ -126,8 +126,10 @@ impl<'a> EvalContext<'a> {
             }
         }
         // The forest is read-only from here on: seal every per-group
-        // R-tree into its arena form for the iterative slab scans.
-        grouped.optimize();
+        // R-tree into its arena form for the iterative slab scans. The
+        // explicit seal state guards against accidental writes — any
+        // mutation past this point is counted by the index, not silent.
+        grouped.seal();
         EvalContext {
             instance,
             target,

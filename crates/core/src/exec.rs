@@ -67,6 +67,21 @@ impl ExecPolicy {
         ExecPolicy { threads: 1 }
     }
 
+    /// Divides the machine's parallelism across `concurrent` executors
+    /// that each run their own searches side by side — the serving layer's
+    /// worker pool hook. With `W` request workers on a `C`-core box, each
+    /// worker gets `max(1, C / W)` threads, so the pool as a whole never
+    /// oversubscribes the machine while a lone request still fans out.
+    /// Results are byte-identical at any setting (see the module docs), so
+    /// this only shapes latency/throughput, never answers. `IQ_THREADS`
+    /// caps the numerator like everywhere else.
+    pub fn share_across(concurrent: usize) -> Self {
+        let total = Self::from_env().threads();
+        ExecPolicy {
+            threads: (total / concurrent.max(1)).max(1),
+        }
+    }
+
     /// The effective worker count.
     pub fn threads(&self) -> usize {
         self.threads.max(1)
@@ -214,12 +229,22 @@ mod tests {
 
     #[test]
     fn from_env_reads_iq_threads() {
-        // Env mutation is process-global: restore afterwards.
+        // Env mutation is process-global: restore afterwards, and keep
+        // every IQ_THREADS-dependent assertion inside this one test so
+        // parallel test threads never race on the variable.
         let prev = std::env::var("IQ_THREADS").ok();
         std::env::set_var("IQ_THREADS", "3");
         assert_eq!(ExecPolicy::from_env().threads(), 3);
         std::env::set_var("IQ_THREADS", "not-a-number");
         assert!(ExecPolicy::from_env().threads() >= 1);
+        // share_across divides the IQ_THREADS budget without oversubscribing.
+        std::env::set_var("IQ_THREADS", "8");
+        assert_eq!(ExecPolicy::share_across(1).threads(), 8);
+        assert_eq!(ExecPolicy::share_across(2).threads(), 4);
+        assert_eq!(ExecPolicy::share_across(3).threads(), 2);
+        assert_eq!(ExecPolicy::share_across(8).threads(), 1);
+        assert_eq!(ExecPolicy::share_across(100).threads(), 1);
+        assert_eq!(ExecPolicy::share_across(0).threads(), 8);
         match prev {
             Some(v) => std::env::set_var("IQ_THREADS", v),
             None => std::env::remove_var("IQ_THREADS"),

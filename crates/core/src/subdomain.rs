@@ -218,7 +218,22 @@ impl QueryIndex {
         )
     }
 
-    /// Attribute-space dimensionality.
+    /// Seals the query R-tree into its arena read form (a no-op when
+    /// already sealed). Build does this implicitly via the STR bulk-load;
+    /// call again after incremental updates to restore the fast read path.
+    pub fn seal(&mut self) {
+        self.rtree.optimize();
+    }
+
+    /// Whether the query R-tree is in its sealed (arena) read form. The
+    /// incremental update paths (§4.3) insert into the R-tree and thereby
+    /// leave the sealed state; long-lived holders (the serving layer's
+    /// engine cache) re-seal after a write batch and record the event.
+    pub fn is_sealed(&self) -> bool {
+        self.rtree.is_sealed()
+    }
+
+    /// Dimensionality of the indexed query points.
     pub fn dim(&self) -> usize {
         self.dim
     }

@@ -17,56 +17,9 @@ pub struct QueryResult {
 
 impl QueryResult {
     /// Renders the result as an aligned ASCII table (for examples/REPL).
+    /// Thin alias for [`crate::render::result_text`], the shared encoder.
     pub fn to_ascii(&self) -> String {
-        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| {
-                r.iter()
-                    .enumerate()
-                    .map(|(i, v)| {
-                        let s = format_cell(v);
-                        widths[i] = widths[i].max(s.len());
-                        s
-                    })
-                    .collect()
-            })
-            .collect();
-        let mut out = String::new();
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
-            .collect();
-        out.push_str(&header.join(" | "));
-        out.push('\n');
-        out.push_str(
-            &widths
-                .iter()
-                .map(|w| "-".repeat(*w))
-                .collect::<Vec<_>>()
-                .join("-+-"),
-        );
-        out.push('\n');
-        for r in rendered {
-            let line: Vec<String> = r
-                .iter()
-                .enumerate()
-                .map(|(i, s)| format!("{:width$}", s, width = widths[i]))
-                .collect();
-            out.push_str(&line.join(" | "));
-            out.push('\n');
-        }
-        out
-    }
-}
-
-fn format_cell(v: &Value) -> String {
-    match v {
-        Value::Float(f) => format!("{f:.4}"),
-        other => other.to_string(),
+        crate::render::result_text(self)
     }
 }
 

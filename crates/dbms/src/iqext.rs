@@ -22,6 +22,7 @@ use iq_core::{
     max_hit_iq, min_cost_iq, CostFunction, EuclideanCost, Instance, L1Cost, QueryIndex,
     SearchOptions, StrategyBounds, TopKQuery,
 };
+use iq_geometry::Vector;
 
 /// The improvable attribute columns of an object table.
 pub fn attribute_columns(table: &Table) -> Vec<usize> {
@@ -118,6 +119,50 @@ fn bounds_for(
     Ok(bounds)
 }
 
+/// A prebuilt IQ evaluation context for one `(objects, queries)` table
+/// pair: the extracted instance plus its subdomain index.
+///
+/// Per-target write-back deltas: `(object row, per-attribute delta)`
+/// pairs, the second half of every IMPROVE search result.
+pub type TargetDeltas = Vec<(usize, Vec<f64>)>;
+
+/// Building the index dominates IMPROVE latency, so the serving layer
+/// caches a `Prepared` per table pair and hands it to [`improve_with`];
+/// any mutation of either table must drop (or incrementally update) the
+/// cache — index staleness is the *caller's* responsibility, nothing here
+/// re-checks the tables. Determinism note: a cached index and a freshly
+/// built one yield byte-identical strategies, because the search depends
+/// only on the instance's exact toplists/thresholds ("same subdomain ⇒
+/// identical candidate list") — which is what makes caching safe for the
+/// server's replay tests.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The extracted IQ instance.
+    pub instance: Instance,
+    /// Object-table column index of each instance attribute.
+    pub attrs: Vec<usize>,
+    /// The subdomain index over `instance`.
+    pub index: QueryIndex,
+}
+
+impl Prepared {
+    /// Extracts the instance and builds the subdomain index with the given
+    /// execution policy.
+    pub fn build(
+        objects: &Table,
+        queries: &Table,
+        exec: &iq_core::ExecPolicy,
+    ) -> Result<Prepared, DbError> {
+        let (instance, attrs) = build_instance(objects, queries)?;
+        let index = QueryIndex::build_with(&instance, exec);
+        Ok(Prepared {
+            instance,
+            attrs,
+            index,
+        })
+    }
+}
+
 /// Executes an IMPROVE statement against the object table in place (for
 /// `APPLY`) and returns a result set: one row per target with the
 /// per-attribute deltas, cost, and hit counts.
@@ -126,30 +171,78 @@ pub fn improve(
     queries: &Table,
     stmt: &ImproveStmt,
 ) -> Result<QueryResult, DbError> {
-    let (instance, attrs) = build_instance(objects, queries)?;
+    let (result, deltas) = improve_with(objects, queries, stmt, None, &SearchOptions::default())?;
+    if stmt.apply {
+        apply_deltas(objects, &deltas)?;
+    }
+    Ok(result)
+}
+
+/// Read-only IMPROVE (no `APPLY` write-back even if requested): the
+/// concurrent-reader entry point. Returns the result set plus the deltas
+/// the caller may later apply under a write lock.
+pub fn improve_readonly(
+    objects: &Table,
+    queries: &Table,
+    stmt: &ImproveStmt,
+) -> Result<(QueryResult, TargetDeltas), DbError> {
+    improve_with(objects, queries, stmt, None, &SearchOptions::default())
+}
+
+/// Writes per-target attribute deltas back into the object table —
+/// `APPLY`'s mutation, split out so the serving layer can run the search
+/// under a read lock and the write-back under the write lock.
+pub fn apply_deltas(objects: &mut Table, deltas: &[(usize, Vec<f64>)]) -> Result<(), DbError> {
+    let attrs = attribute_columns(objects);
+    for (row, strategy) in deltas {
+        for (pos, &col) in attrs.iter().enumerate() {
+            let old = numeric(&objects.row(*row)[col], "attribute")?;
+            objects.update_cell(*row, col, Value::Float(old + strategy[pos]))?;
+        }
+    }
+    Ok(())
+}
+
+/// The IMPROVE search core, shared by every entry point. Reads the tables
+/// only; never mutates. `prepared` supplies a cached instance/index (the
+/// server's fast path) — pass `None` to extract and build fresh. Returns
+/// the result set and the `(target row, per-attribute delta)` pairs.
+pub fn improve_with(
+    objects: &Table,
+    queries: &Table,
+    stmt: &ImproveStmt,
+    prepared: Option<&Prepared>,
+    opts: &SearchOptions,
+) -> Result<(QueryResult, TargetDeltas), DbError> {
+    let built;
+    let (instance, attrs, index) = match prepared {
+        Some(p) => (&p.instance, &p.attrs, &p.index),
+        None => {
+            built = Prepared::build(objects, queries, &opts.exec)?;
+            (&built.instance, &built.attrs, &built.index)
+        }
+    };
     let targets = matching_rows(objects, stmt.predicate.as_ref())?;
     if targets.is_empty() {
         return Err(DbError::Improve(
             "no rows match the target predicate".into(),
         ));
     }
-    let bounds = bounds_for(stmt, objects, &attrs)?;
+    let bounds = bounds_for(stmt, objects, attrs)?;
     let cost_fn: &dyn CostFunction = match stmt.cost {
         CostKind::Euclidean => &EuclideanCost,
         CostKind::L1 => &L1Cost,
     };
-    let opts = SearchOptions::default();
-    let index = QueryIndex::build_with(&instance, &opts.exec);
 
     // Run the appropriate search.
     let (strategies, costs, hits_before, hits_after, achieved) = if targets.len() == 1 {
         let t = targets[0];
         let r = match stmt.goal {
             ImproveGoal::MinCost(tau) => {
-                min_cost_iq(&instance, &index, t, tau, cost_fn, &bounds, &opts)
+                min_cost_iq(instance, index, t, tau, cost_fn, &bounds, opts)
             }
             ImproveGoal::MaxHit(beta) => {
-                max_hit_iq(&instance, &index, t, beta, cost_fn, &bounds, &opts)
+                max_hit_iq(instance, index, t, beta, cost_fn, &bounds, opts)
             }
         };
         (
@@ -169,8 +262,8 @@ pub fn improve(
             })
             .collect();
         let r = match stmt.goal {
-            ImproveGoal::MinCost(tau) => multi_min_cost_iq(&instance, &index, &specs, tau, 10_000),
-            ImproveGoal::MaxHit(beta) => multi_max_hit_iq(&instance, &index, &specs, beta, 10_000),
+            ImproveGoal::MinCost(tau) => multi_min_cost_iq(instance, index, &specs, tau, 10_000),
+            ImproveGoal::MaxHit(beta) => multi_max_hit_iq(instance, index, &specs, beta, 10_000),
         };
         (
             r.strategies,
@@ -181,19 +274,9 @@ pub fn improve(
         )
     };
 
-    // Optionally write improved attributes back.
-    if stmt.apply {
-        for (&row, strategy) in targets.iter().zip(&strategies) {
-            for (pos, &col) in attrs.iter().enumerate() {
-                let old = numeric(&objects.row(row)[col], "attribute")?;
-                objects.update_cell(row, col, Value::Float(old + strategy[pos]))?;
-            }
-        }
-    }
-
     // Build the result set.
     let mut columns = vec!["row".to_string()];
-    for &c in &attrs {
+    for &c in attrs {
         columns.push(format!("delta_{}", objects.schema.columns()[c].name));
     }
     columns.extend([
@@ -215,7 +298,11 @@ pub fn improve(
             out
         })
         .collect();
-    Ok(QueryResult { columns, rows })
+    let deltas = targets
+        .into_iter()
+        .zip(strategies.into_iter().map(Vector::into_inner))
+        .collect();
+    Ok((QueryResult { columns, rows }, deltas))
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ pub mod csv;
 pub mod exec;
 pub mod iqext;
 pub mod parser;
+pub mod render;
 pub mod session;
 pub mod table;
 pub mod value;
@@ -30,6 +31,7 @@ pub mod value;
 pub use csv::table_from_csv;
 pub use exec::QueryResult;
 pub use parser::{parse, Statement};
+pub use render::{error_json, outcome_json, outcome_text, result_text};
 pub use session::{Outcome, Session};
 pub use table::{Column, Schema, Table};
 pub use value::{ColumnType, Value};
@@ -39,8 +41,20 @@ use std::fmt;
 /// Errors produced by the DBMS layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DbError {
-    /// Syntax error.
+    /// Syntax error without a source position (semantic-level failures).
     Parse(String),
+    /// Syntax error pinned to a byte offset in the statement text. The
+    /// offset round-trips through the wire protocol (see [`render`]), so a
+    /// remote client can point at the offending character.
+    SyntaxAt {
+        /// Byte offset of the offending token in the statement string.
+        offset: usize,
+        /// What was wrong there.
+        message: String,
+    },
+    /// Statement is recognized but not executable in this context (e.g.
+    /// `SHOW STATS` / `SHUTDOWN` outside an `iq-server` connection).
+    Unsupported(String),
     /// Table already exists.
     TableExists(String),
     /// Unknown table.
@@ -73,6 +87,10 @@ impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::SyntaxAt { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            DbError::Unsupported(m) => write!(f, "unsupported here: {m}"),
             DbError::TableExists(t) => write!(f, "table `{t}` already exists"),
             DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             DbError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),

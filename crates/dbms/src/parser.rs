@@ -82,6 +82,27 @@ pub enum Statement {
     },
     /// The IMPROVE extension.
     Improve(ImproveStmt),
+    /// SHOW TABLES — list the catalog.
+    ShowTables,
+    /// SHOW STATS — the serving layer's metrics snapshot. Parsed here so
+    /// every front end shares one grammar; a plain [`crate::Session`] has
+    /// no metrics registry and reports [`DbError::Unsupported`].
+    ShowStats,
+    /// SHUTDOWN — ask the server to drain and stop. Like `SHOW STATS`,
+    /// only meaningful over an `iq-server` connection.
+    Shutdown,
+}
+
+/// Whether a statement only reads session state. Read-only statements may
+/// run concurrently against a shared snapshot (the serving layer's
+/// reader path); everything else must serialize through the write path.
+pub fn is_read_only(stmt: &Statement) -> bool {
+    match stmt {
+        Statement::Select(_) | Statement::ShowTables | Statement::ShowStats => true,
+        // IMPROVE without APPLY is a pure analytic query; APPLY mutates.
+        Statement::Improve(imp) => !imp.apply,
+        _ => false,
+    }
 }
 
 /// An aggregate function.
@@ -220,42 +241,49 @@ enum Tok {
     Symbol(&'static str),
 }
 
-fn lex(input: &str) -> Result<Vec<Tok>, DbError> {
+/// Lexes `input` into tokens, each annotated with the byte offset where it
+/// starts — the offsets feed [`DbError::SyntaxAt`] so parse errors point at
+/// the offending character, locally and over the wire.
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, DbError> {
     let b = input.as_bytes();
     let mut toks = Vec::new();
     let mut i = 0;
     while i < b.len() {
+        let at = i;
         match b[i] {
             b' ' | b'\t' | b'\n' | b'\r' => i += 1,
             b'(' | b')' | b',' | b'*' | b';' | b'=' => {
-                toks.push(Tok::Symbol(match b[i] {
-                    b'(' => "(",
-                    b')' => ")",
-                    b',' => ",",
-                    b'*' => "*",
-                    b';' => ";",
-                    _ => "=",
-                }));
+                toks.push((
+                    Tok::Symbol(match b[i] {
+                        b'(' => "(",
+                        b')' => ")",
+                        b',' => ",",
+                        b'*' => "*",
+                        b';' => ";",
+                        _ => "=",
+                    }),
+                    at,
+                ));
                 i += 1;
             }
             b'<' => {
                 if i + 1 < b.len() && b[i + 1] == b'=' {
-                    toks.push(Tok::Symbol("<="));
+                    toks.push((Tok::Symbol("<="), at));
                     i += 2;
                 } else if i + 1 < b.len() && b[i + 1] == b'>' {
-                    toks.push(Tok::Symbol("<>"));
+                    toks.push((Tok::Symbol("<>"), at));
                     i += 2;
                 } else {
-                    toks.push(Tok::Symbol("<"));
+                    toks.push((Tok::Symbol("<"), at));
                     i += 1;
                 }
             }
             b'>' => {
                 if i + 1 < b.len() && b[i + 1] == b'=' {
-                    toks.push(Tok::Symbol(">="));
+                    toks.push((Tok::Symbol(">="), at));
                     i += 2;
                 } else {
-                    toks.push(Tok::Symbol(">"));
+                    toks.push((Tok::Symbol(">"), at));
                     i += 1;
                 }
             }
@@ -266,9 +294,12 @@ fn lex(input: &str) -> Result<Vec<Tok>, DbError> {
                     j += 1;
                 }
                 if j >= b.len() {
-                    return Err(DbError::Parse("unterminated string literal".into()));
+                    return Err(DbError::SyntaxAt {
+                        offset: at,
+                        message: "unterminated string literal".into(),
+                    });
                 }
-                toks.push(Tok::Str(input[start..j].to_string()));
+                toks.push((Tok::Str(input[start..j].to_string()), at));
                 i = j + 1;
             }
             b'0'..=b'9' | b'.' | b'-' => {
@@ -285,16 +316,27 @@ fn lex(input: &str) -> Result<Vec<Tok>, DbError> {
                 }
                 let text = &input[start..i];
                 if text == "-" {
-                    return Err(DbError::Parse("stray `-`".into()));
+                    return Err(DbError::SyntaxAt {
+                        offset: at,
+                        message: "stray `-`".into(),
+                    });
                 }
                 if is_float {
-                    toks.push(Tok::Float(text.parse().map_err(|_| {
-                        DbError::Parse(format!("bad float literal `{text}`"))
-                    })?));
+                    toks.push((
+                        Tok::Float(text.parse().map_err(|_| DbError::SyntaxAt {
+                            offset: at,
+                            message: format!("bad float literal `{text}`"),
+                        })?),
+                        at,
+                    ));
                 } else {
-                    toks.push(Tok::Int(text.parse().map_err(|_| {
-                        DbError::Parse(format!("bad integer literal `{text}`"))
-                    })?));
+                    toks.push((
+                        Tok::Int(text.parse().map_err(|_| DbError::SyntaxAt {
+                            offset: at,
+                            message: format!("bad integer literal `{text}`"),
+                        })?),
+                        at,
+                    ));
                 }
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
@@ -302,13 +344,13 @@ fn lex(input: &str) -> Result<Vec<Tok>, DbError> {
                 while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
-                toks.push(Tok::Ident(input[start..i].to_string()));
+                toks.push((Tok::Ident(input[start..i].to_string()), at));
             }
             other => {
-                return Err(DbError::Parse(format!(
-                    "unexpected character `{}`",
-                    other as char
-                )))
+                return Err(DbError::SyntaxAt {
+                    offset: at,
+                    message: format!("unexpected character `{}`", other as char),
+                })
             }
         }
     }
@@ -317,10 +359,38 @@ fn lex(input: &str) -> Result<Vec<Tok>, DbError> {
 
 struct P {
     toks: Vec<Tok>,
+    offs: Vec<usize>,
+    /// Byte length of the input — the offset reported at end-of-statement.
+    end: usize,
     pos: usize,
 }
 
 impl P {
+    /// Byte offset of the token about to be consumed (input length at EOF).
+    fn here(&self) -> usize {
+        self.offs.get(self.pos).copied().unwrap_or(self.end)
+    }
+
+    fn err(&self, message: impl Into<String>) -> DbError {
+        DbError::SyntaxAt {
+            offset: self.here(),
+            message: message.into(),
+        }
+    }
+
+    /// Like [`P::err`], but for an already-consumed token.
+    fn err_prev(&self, message: impl Into<String>) -> DbError {
+        let offset = self
+            .offs
+            .get(self.pos.saturating_sub(1))
+            .copied()
+            .unwrap_or(self.end);
+        DbError::SyntaxAt {
+            offset,
+            message: message.into(),
+        }
+    }
+
     fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos)
     }
@@ -344,7 +414,7 @@ impl P {
         if self.eat_symbol(s) {
             Ok(())
         } else {
-            Err(DbError::Parse(format!("expected `{s}`")))
+            Err(self.err(format!("expected `{s}`")))
         }
     }
 
@@ -365,16 +435,14 @@ impl P {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(DbError::Parse(format!("expected {kw}")))
+            Err(self.err(format!("expected {kw}")))
         }
     }
 
     fn ident(&mut self) -> Result<String, DbError> {
         match self.bump() {
             Some(Tok::Ident(w)) => Ok(w),
-            other => Err(DbError::Parse(format!(
-                "expected identifier, got {other:?}"
-            ))),
+            other => Err(self.err_prev(format!("expected identifier, got {other:?}"))),
         }
     }
 
@@ -386,7 +454,7 @@ impl P {
             Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
             Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
             Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("null") => Ok(Value::Null),
-            other => Err(DbError::Parse(format!("expected literal, got {other:?}"))),
+            other => Err(self.err_prev(format!("expected literal, got {other:?}"))),
         }
     }
 
@@ -394,7 +462,7 @@ impl P {
         match self.bump() {
             Some(Tok::Int(i)) => Ok(i as f64),
             Some(Tok::Float(f)) => Ok(f),
-            other => Err(DbError::Parse(format!("expected number, got {other:?}"))),
+            other => Err(self.err_prev(format!("expected number, got {other:?}"))),
         }
     }
 
@@ -435,11 +503,7 @@ impl P {
             Some(Tok::Symbol("<=")) => CompareOp::Le,
             Some(Tok::Symbol(">")) => CompareOp::Gt,
             Some(Tok::Symbol(">=")) => CompareOp::Ge,
-            other => {
-                return Err(DbError::Parse(format!(
-                    "expected comparison, got {other:?}"
-                )))
-            }
+            other => return Err(self.err_prev(format!("expected comparison, got {other:?}"))),
         };
         let value = self.literal()?;
         Ok(Predicate::Compare { column, op, value })
@@ -451,16 +515,28 @@ impl P {
         self.expect_keyword("TABLE")?;
         let name = self.ident()?;
         self.expect_symbol("(")?;
-        let mut columns = Vec::new();
+        let mut columns: Vec<(String, ColumnType)> = Vec::new();
         loop {
+            let col_at = self.here();
             let col = self.ident()?;
+            // Reject duplicates at parse time, pointing at the second
+            // occurrence — don't wait for Schema::new to notice.
+            if columns
+                .iter()
+                .any(|(existing, _)| existing.eq_ignore_ascii_case(&col))
+            {
+                return Err(DbError::SyntaxAt {
+                    offset: col_at,
+                    message: format!("duplicate column `{col}`"),
+                });
+            }
             let ty_name = self.ident()?;
             let ty = match ty_name.to_ascii_uppercase().as_str() {
                 "INT" | "INTEGER" | "BIGINT" => ColumnType::Int,
                 "FLOAT" | "REAL" | "DOUBLE" => ColumnType::Float,
                 "TEXT" | "VARCHAR" | "STRING" => ColumnType::Text,
                 "BOOL" | "BOOLEAN" => ColumnType::Bool,
-                other => return Err(DbError::Parse(format!("unknown type `{other}`"))),
+                other => return Err(self.err_prev(format!("unknown type `{other}`"))),
             };
             columns.push((col, ty));
             if !self.eat_symbol(",") {
@@ -511,7 +587,7 @@ impl P {
                     Some(a) if self.eat_symbol("(") => {
                         let arg = if self.eat_symbol("*") {
                             if a != Aggregate::Count {
-                                return Err(DbError::Parse(format!(
+                                return Err(self.err_prev(format!(
                                     "{}(*) is not supported; name a column",
                                     a.name()
                                 )));
@@ -613,7 +689,7 @@ impl P {
         } else if self.eat_keyword("MAXHIT") {
             ImproveGoal::MaxHit(self.number()?)
         } else {
-            return Err(DbError::Parse("expected MINCOST or MAXHIT".into()));
+            return Err(self.err("expected MINCOST or MAXHIT"));
         };
         let mut cost = CostKind::Euclidean;
         let mut freeze = Vec::new();
@@ -625,7 +701,7 @@ impl P {
                 } else if self.eat_keyword("L1") {
                     CostKind::L1
                 } else {
-                    return Err(DbError::Parse("expected EUCLIDEAN or L1 after COST".into()));
+                    return Err(self.err("expected EUCLIDEAN or L1 after COST"));
                 };
             } else if self.eat_keyword("FREEZE") {
                 loop {
@@ -654,8 +730,13 @@ impl P {
 
 /// Parses one SQL statement (an optional trailing `;` is allowed).
 pub fn parse(input: &str) -> Result<Statement, DbError> {
-    let toks = lex(input)?;
-    let mut p = P { toks, pos: 0 };
+    let (toks, offs): (Vec<Tok>, Vec<usize>) = lex(input)?.into_iter().unzip();
+    let mut p = P {
+        toks,
+        offs,
+        end: input.len(),
+        pos: 0,
+    };
     let stmt = if p.eat_keyword("CREATE") {
         p.create()?
     } else if p.eat_keyword("INSERT") {
@@ -672,7 +753,7 @@ pub fn parse(input: &str) -> Result<Statement, DbError> {
         let path = match p.bump() {
             Some(Tok::Str(s)) => s,
             other => {
-                return Err(DbError::Parse(format!(
+                return Err(p.err_prev(format!(
                     "expected quoted file path after FROM, got {other:?}"
                 )))
             }
@@ -688,14 +769,25 @@ pub fn parse(input: &str) -> Result<Statement, DbError> {
         Statement::Drop { name: p.ident()? }
     } else if p.eat_keyword("IMPROVE") {
         p.improve()?
+    } else if p.eat_keyword("SHOW") {
+        if p.eat_keyword("TABLES") {
+            Statement::ShowTables
+        } else if p.eat_keyword("STATS") {
+            Statement::ShowStats
+        } else {
+            return Err(p.err("expected TABLES or STATS after SHOW"));
+        }
+    } else if p.eat_keyword("SHUTDOWN") {
+        Statement::Shutdown
     } else {
-        return Err(DbError::Parse(
-            "expected CREATE, INSERT, SELECT, UPDATE, DELETE, COPY, DROP, or IMPROVE".into(),
+        return Err(p.err(
+            "expected CREATE, INSERT, SELECT, UPDATE, DELETE, COPY, DROP, IMPROVE, SHOW, \
+             or SHUTDOWN",
         ));
     };
     p.eat_symbol(";");
     if p.pos != p.toks.len() {
-        return Err(DbError::Parse("trailing input after statement".into()));
+        return Err(p.err("trailing input after statement"));
     }
     Ok(stmt)
 }
@@ -904,6 +996,74 @@ mod tests {
             }
         ));
         assert!(parse("COPY cars FROM cars_csv").is_err());
+    }
+
+    fn offset_of(err: DbError) -> usize {
+        match err {
+            DbError::SyntaxAt { offset, .. } => offset,
+            other => panic!("expected SyntaxAt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_carry_byte_offsets() {
+        // `~` at byte 28.
+        let sql = "SELECT * FROM t WHERE price ~ 1";
+        assert_eq!(offset_of(parse(sql).unwrap_err()), 28);
+        // Unknown leading keyword points at byte 0.
+        assert_eq!(offset_of(parse("SELEC * FROM t").unwrap_err()), 0);
+        // Missing FROM target: offset is end-of-input.
+        let sql = "SELECT * FROM";
+        assert_eq!(offset_of(parse(sql).unwrap_err()), sql.len());
+        // Trailing garbage points at the garbage, not the statement.
+        let sql = "SELECT * FROM t extra";
+        assert_eq!(offset_of(parse(sql).unwrap_err()), 16);
+        // Unterminated string points at its opening quote.
+        let sql = "INSERT INTO t VALUES ('oops)";
+        assert_eq!(offset_of(parse(sql).unwrap_err()), 22);
+        // Unknown column type points at the type token.
+        let sql = "CREATE TABLE t (a BLOB)";
+        assert_eq!(offset_of(parse(sql).unwrap_err()), 18);
+    }
+
+    #[test]
+    fn create_rejects_duplicate_columns_at_parse_time() {
+        let sql = "CREATE TABLE t (a INT, b FLOAT, a TEXT)";
+        let err = parse(sql).unwrap_err();
+        match &err {
+            DbError::SyntaxAt { offset, message } => {
+                // Points at the *second* `a`.
+                assert_eq!(*offset, 32);
+                assert!(message.contains("duplicate column `a`"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Case-insensitive, like the rest of the catalog.
+        assert!(parse("CREATE TABLE t (x INT, X INT)").is_err());
+    }
+
+    #[test]
+    fn show_and_shutdown_statements() {
+        assert_eq!(parse("SHOW TABLES").unwrap(), Statement::ShowTables);
+        assert_eq!(parse("show stats;").unwrap(), Statement::ShowStats);
+        assert_eq!(parse("SHUTDOWN").unwrap(), Statement::Shutdown);
+        assert!(parse("SHOW nonsense").is_err());
+    }
+
+    #[test]
+    fn read_only_classification() {
+        let ro = |sql: &str| is_read_only(&parse(sql).unwrap());
+        assert!(ro("SELECT * FROM t"));
+        assert!(ro("SHOW TABLES"));
+        assert!(ro("SHOW STATS"));
+        assert!(ro("IMPROVE t USING q MINCOST 3"));
+        assert!(!ro("IMPROVE t USING q MINCOST 3 APPLY"));
+        assert!(!ro("INSERT INTO t VALUES (1)"));
+        assert!(!ro("UPDATE t SET a = 1"));
+        assert!(!ro("DELETE FROM t"));
+        assert!(!ro("DROP TABLE t"));
+        assert!(!ro("CREATE TABLE t (a INT)"));
+        assert!(!ro("SHUTDOWN"));
     }
 
     #[test]

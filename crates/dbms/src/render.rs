@@ -1,0 +1,311 @@
+//! Shared result encoder: the single place where [`Outcome`],
+//! [`QueryResult`], and [`DbError`] become user-visible text.
+//!
+//! Two renderings, one source of truth:
+//!
+//! - **Aligned text** ([`outcome_text`] / [`result_text`]) — what the REPL
+//!   and the examples print. Floats use the fixed `{:.4}` cell format so
+//!   tables stay column-stable.
+//! - **Line JSON** ([`outcome_json`] / [`error_json`]) — the `iq-server`
+//!   wire format: exactly one `\n`-free line per response, hand-rolled
+//!   (no serde; see the offline compat policy in `crates/compat`). Floats
+//!   use Rust's shortest round-trip formatting so a value is byte-identical
+//!   however many times it is rendered — the serving layer's determinism
+//!   tests compare whole response lines.
+//!
+//! Keeping both behind one module is what lets the REPL and the server
+//! never drift: a new [`Outcome`] variant fails to compile here, not
+//! silently render differently in two places.
+
+use crate::exec::QueryResult;
+use crate::session::Outcome;
+use crate::value::Value;
+use crate::DbError;
+use std::fmt::Write as _;
+
+/// Renders a result set as an aligned ASCII table (REPL/examples view).
+pub fn result_text(result: &QueryResult) -> String {
+    let mut widths: Vec<usize> = result.columns.iter().map(|c| c.len()).collect();
+    let rendered: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let s = text_cell(v);
+                    widths[i] = widths[i].max(s.len());
+                    s
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = String::new();
+    let header: Vec<String> = result
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+        .collect();
+    out.push_str(&header.join(" | "));
+    out.push('\n');
+    out.push_str(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-"),
+    );
+    out.push('\n');
+    for r in rendered {
+        let line: Vec<String> = r
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{:width$}", s, width = widths[i]))
+            .collect();
+        out.push_str(&line.join(" | "));
+        out.push('\n');
+    }
+    out
+}
+
+/// One cell of the text rendering. Floats are fixed-width (`{:.4}`) so
+/// columns align; everything else uses the value's `Display`.
+fn text_cell(v: &Value) -> String {
+    match v {
+        Value::Float(f) => format!("{f:.4}"),
+        other => other.to_string(),
+    }
+}
+
+/// Renders an execution outcome as the REPL's human-readable text.
+/// Row-bearing outcomes become a multi-line aligned table; everything else
+/// is a single status line.
+pub fn outcome_text(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Created(name) => format!("created table {name}"),
+        Outcome::Inserted(n) => format!("inserted {n} row(s)"),
+        Outcome::Copied(n) => format!("copied {n} row(s)"),
+        Outcome::Updated(n) => format!("updated {n} row(s)"),
+        Outcome::Deleted(n) => format!("deleted {n} row(s)"),
+        Outcome::Dropped(name) => format!("dropped table {name}"),
+        Outcome::Rows(r) => result_text(r),
+    }
+}
+
+/// Renders an execution outcome as one line of JSON — the server's
+/// success response. Shapes:
+///
+/// ```text
+/// {"ok":true,"outcome":"rows","columns":["id"],"rows":[[1]]}
+/// {"ok":true,"outcome":"created","table":"t"}
+/// {"ok":true,"outcome":"inserted","count":3}      (copied/updated/deleted alike)
+/// ```
+pub fn outcome_json(outcome: &Outcome) -> String {
+    let mut out = String::from("{\"ok\":true,\"outcome\":");
+    match outcome {
+        Outcome::Created(name) => {
+            out.push_str("\"created\",\"table\":");
+            json_string(&mut out, name);
+        }
+        Outcome::Dropped(name) => {
+            out.push_str("\"dropped\",\"table\":");
+            json_string(&mut out, name);
+        }
+        Outcome::Inserted(n) => {
+            let _ = write!(out, "\"inserted\",\"count\":{n}");
+        }
+        Outcome::Copied(n) => {
+            let _ = write!(out, "\"copied\",\"count\":{n}");
+        }
+        Outcome::Updated(n) => {
+            let _ = write!(out, "\"updated\",\"count\":{n}");
+        }
+        Outcome::Deleted(n) => {
+            let _ = write!(out, "\"deleted\",\"count\":{n}");
+        }
+        Outcome::Rows(r) => {
+            out.push_str("\"rows\",\"columns\":[");
+            for (i, c) in r.columns.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, c);
+            }
+            out.push_str("],\"rows\":[");
+            for (i, row) in r.rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (j, v) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    json_value(&mut out, v);
+                }
+                out.push(']');
+            }
+            out.push(']');
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders an error as one line of JSON — the server's failure response:
+/// `{"ok":false,"kind":"<kind>","error":"<message>"}`, plus an `"offset"`
+/// field for positioned syntax errors so the byte offset survives the wire
+/// (clients can point at the offending character of the SQL they sent).
+pub fn error_json(err: &DbError) -> String {
+    let kind = match err {
+        DbError::Parse(_) => "parse",
+        DbError::SyntaxAt { .. } => "syntax",
+        DbError::Unsupported(_) => "unsupported",
+        DbError::TableExists(_) => "table_exists",
+        DbError::UnknownTable(_) => "unknown_table",
+        DbError::UnknownColumn(_) => "unknown_column",
+        DbError::DuplicateColumn(_) => "duplicate_column",
+        DbError::ArityMismatch { .. } => "arity",
+        DbError::TypeMismatch { .. } => "type",
+        DbError::Improve(_) => "improve",
+    };
+    let mut out = String::from("{\"ok\":false,\"kind\":");
+    json_string(&mut out, kind);
+    if let DbError::SyntaxAt { offset, .. } = err {
+        let _ = write!(out, ",\"offset\":{offset}");
+    }
+    out.push_str(",\"error\":");
+    json_string(&mut out, &err.to_string());
+    out.push('}');
+    out
+}
+
+/// Appends a JSON string literal (quoted, escaped) to `out`.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends one cell as a JSON value. Floats use Rust's shortest
+/// round-trip `Display` (so `1.0` renders as `1`, deterministically);
+/// non-finite floats have no JSON spelling and become `null`.
+fn json_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        Value::Float(_) => out.push_str("null"),
+        Value::Text(s) => json_string(out, s),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Null => out.push_str("null"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Outcome {
+        Outcome::Rows(QueryResult {
+            columns: vec!["id".into(), "price".into(), "name".into()],
+            rows: vec![
+                vec![Value::Int(1), Value::Float(0.5), Value::Text("a\"b".into())],
+                vec![Value::Int(2), Value::Float(1.0), Value::Null],
+            ],
+        })
+    }
+
+    #[test]
+    fn text_table_is_aligned() {
+        let text = outcome_text(&sample_rows());
+        assert!(text.contains("0.5000"), "{text}");
+        let widths: Vec<usize> = text.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{text}");
+    }
+
+    #[test]
+    fn status_outcomes_render_as_single_lines() {
+        assert_eq!(
+            outcome_text(&Outcome::Created("t".into())),
+            "created table t"
+        );
+        assert_eq!(outcome_text(&Outcome::Inserted(3)), "inserted 3 row(s)");
+        assert_eq!(outcome_text(&Outcome::Deleted(0)), "deleted 0 row(s)");
+    }
+
+    #[test]
+    fn rows_json_shape_and_escaping() {
+        let json = outcome_json(&sample_rows());
+        assert_eq!(
+            json,
+            "{\"ok\":true,\"outcome\":\"rows\",\
+             \"columns\":[\"id\",\"price\",\"name\"],\
+             \"rows\":[[1,0.5,\"a\\\"b\"],[2,1,null]]}"
+        );
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn status_json_shapes() {
+        assert_eq!(
+            outcome_json(&Outcome::Created("t".into())),
+            "{\"ok\":true,\"outcome\":\"created\",\"table\":\"t\"}"
+        );
+        assert_eq!(
+            outcome_json(&Outcome::Updated(7)),
+            "{\"ok\":true,\"outcome\":\"updated\",\"count\":7}"
+        );
+    }
+
+    #[test]
+    fn error_json_carries_kind_and_offset() {
+        let err = DbError::SyntaxAt {
+            offset: 28,
+            message: "unexpected character `~`".into(),
+        };
+        let json = error_json(&err);
+        assert!(json.starts_with("{\"ok\":false,\"kind\":\"syntax\",\"offset\":28,"));
+        assert!(json.contains("unexpected character"));
+        let json = error_json(&DbError::UnknownTable("nope".into()));
+        assert!(json.contains("\"kind\":\"unknown_table\""));
+        assert!(!json.contains("offset"));
+        let json = error_json(&DbError::Unsupported("SHUTDOWN".into()));
+        assert!(json.contains("\"kind\":\"unsupported\""));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let mut s = String::new();
+        json_string(&mut s, "a\nb\t\\\"\u{1}");
+        assert_eq!(s, "\"a\\nb\\t\\\\\\\"\\u0001\"");
+    }
+
+    #[test]
+    fn float_rendering_is_shortest_roundtrip_in_json() {
+        let mut s = String::new();
+        json_value(&mut s, &Value::Float(0.1 + 0.2));
+        assert_eq!(s, "0.30000000000000004");
+        s.clear();
+        json_value(&mut s, &Value::Float(f64::NAN));
+        assert_eq!(s, "null");
+    }
+}

@@ -50,6 +50,12 @@ impl Session {
         self.tables.get(&name.to_ascii_lowercase())
     }
 
+    /// A table by name, mutably — the serving layer's `APPLY` write-back
+    /// hook (search under a read lock, apply under the write lock).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&name.to_ascii_lowercase())
+    }
+
     /// Registers a prebuilt table (used by examples/benches to bulk-load).
     pub fn register(&mut self, name: &str, table: Table) {
         self.tables.insert(name.to_ascii_lowercase(), table);
@@ -57,7 +63,46 @@ impl Session {
 
     /// Parses and executes one statement.
     pub fn execute(&mut self, sql: &str) -> Result<Outcome, DbError> {
-        match parse(sql)? {
+        let stmt = parse(sql)?;
+        self.execute_parsed(stmt)
+    }
+
+    /// Executes a read-only statement against `&self` — the serving
+    /// layer's concurrent-reader entry point (many of these may run in
+    /// parallel under a shared lock). Statements that are not read-only
+    /// per [`crate::parser::is_read_only`] are rejected, including
+    /// `IMPROVE … APPLY`.
+    pub fn execute_read(&self, stmt: &Statement) -> Result<Outcome, DbError> {
+        match stmt {
+            Statement::Select(sel) => {
+                let t = self
+                    .tables
+                    .get(&sel.table.to_ascii_lowercase())
+                    .ok_or_else(|| DbError::UnknownTable(sel.table.clone()))?;
+                Ok(Outcome::Rows(select(t, sel)?))
+            }
+            Statement::ShowTables => Ok(Outcome::Rows(self.show_tables())),
+            Statement::Improve(imp) if !imp.apply => {
+                let queries = self
+                    .tables
+                    .get(&imp.query_table.to_ascii_lowercase())
+                    .ok_or_else(|| DbError::UnknownTable(imp.query_table.clone()))?;
+                let objects = self
+                    .tables
+                    .get(&imp.table.to_ascii_lowercase())
+                    .ok_or_else(|| DbError::UnknownTable(imp.table.clone()))?;
+                let (result, _deltas) = crate::iqext::improve_readonly(objects, queries, imp)?;
+                Ok(Outcome::Rows(result))
+            }
+            other => Err(DbError::Unsupported(format!(
+                "statement is not read-only: {other:?}"
+            ))),
+        }
+    }
+
+    /// Executes an already-parsed statement.
+    pub fn execute_parsed(&mut self, stmt: Statement) -> Result<Outcome, DbError> {
+        match stmt {
             Statement::Create { name, columns } => {
                 let key = name.to_ascii_lowercase();
                 if self.tables.contains_key(&key) {
@@ -70,7 +115,7 @@ impl Session {
                         .collect(),
                 )?;
                 self.tables.insert(key, Table::new(schema));
-                Ok(Outcome::Created(name_of(sql)))
+                Ok(Outcome::Created(name))
             }
             Statement::Insert { table, rows } => {
                 let t = self
@@ -164,17 +209,33 @@ impl Session {
                     objects, &queries, &stmt,
                 )?))
             }
+            Statement::ShowTables => Ok(Outcome::Rows(self.show_tables())),
+            Statement::ShowStats => Err(DbError::Unsupported(
+                "SHOW STATS requires an iq-server connection".into(),
+            )),
+            Statement::Shutdown => Err(DbError::Unsupported(
+                "SHUTDOWN requires an iq-server connection".into(),
+            )),
         }
     }
-}
 
-fn name_of(sql: &str) -> String {
-    // Cosmetic: echo the table name as written.
-    sql.split_whitespace()
-        .nth(2)
-        .unwrap_or("")
-        .trim_end_matches(['(', ';'])
-        .to_string()
+    /// `SHOW TABLES` result: `(table, rows)` pairs in sorted name order.
+    fn show_tables(&self) -> QueryResult {
+        QueryResult {
+            columns: vec!["table".into(), "rows".into()],
+            rows: self
+                .table_names()
+                .into_iter()
+                .map(|name| {
+                    let rows = self.tables[name].len();
+                    vec![
+                        crate::value::Value::Text(name.to_string()),
+                        crate::value::Value::Int(rows as i64),
+                    ]
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +422,75 @@ mod tests {
         assert!(s
             .execute("COPY nope FROM '/definitely/missing.csv'")
             .is_err());
+    }
+
+    #[test]
+    fn show_tables_lists_catalog() {
+        let mut s = session_with_data();
+        match s.execute("SHOW TABLES").unwrap() {
+            Outcome::Rows(r) => {
+                assert_eq!(r.columns, vec!["table", "rows"]);
+                assert_eq!(
+                    r.rows,
+                    vec![
+                        vec![Value::Text("cams".into()), Value::Int(4)],
+                        vec![Value::Text("prefs".into()), Value::Int(4)],
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_only_statements_are_unsupported_locally() {
+        let mut s = Session::new();
+        assert!(matches!(
+            s.execute("SHOW STATS"),
+            Err(DbError::Unsupported(_))
+        ));
+        assert!(matches!(
+            s.execute("SHUTDOWN"),
+            Err(DbError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn execute_read_matches_execute_for_readonly_statements() {
+        let mut s = session_with_data();
+        for sql in [
+            "SELECT id FROM cams WHERE price < 0.5 ORDER BY id",
+            "SHOW TABLES",
+            "IMPROVE cams USING prefs WHERE id = 1 MINCOST 2",
+        ] {
+            let stmt = crate::parser::parse(sql).unwrap();
+            assert!(crate::parser::is_read_only(&stmt));
+            let via_read = s.execute_read(&stmt).unwrap();
+            let via_write = s.execute(sql).unwrap();
+            assert_eq!(via_read, via_write, "{sql}");
+        }
+        // Writes are rejected on the read path.
+        let stmt = crate::parser::parse("INSERT INTO cams VALUES (9, 0.1, 0.1)").unwrap();
+        assert!(matches!(
+            s.execute_read(&stmt),
+            Err(DbError::Unsupported(_))
+        ));
+        // IMPROVE … APPLY mutates → not read-only.
+        let stmt =
+            crate::parser::parse("IMPROVE cams USING prefs WHERE id = 1 MINCOST 2 APPLY").unwrap();
+        assert!(matches!(
+            s.execute_read(&stmt),
+            Err(DbError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn created_outcome_echoes_parsed_name() {
+        let mut s = Session::new();
+        assert_eq!(
+            s.execute("CREATE TABLE Wide (a INT)").unwrap(),
+            Outcome::Created("Wide".into())
+        );
     }
 
     #[test]

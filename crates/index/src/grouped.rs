@@ -30,6 +30,12 @@ pub struct GroupedQueryIndex {
     dim: usize,
     groups: HashMap<usize, GroupStore>,
     len: usize,
+    /// Whether [`GroupedQueryIndex::seal`] has been called with no mutation
+    /// since: the explicit read-only state the serving layer relies on.
+    sealed: bool,
+    /// How many times a mutation hit a sealed index (each one pays the
+    /// slow unseal path of the affected group's R-tree).
+    unseal_events: u64,
 }
 
 impl GroupedQueryIndex {
@@ -39,6 +45,8 @@ impl GroupedQueryIndex {
             dim,
             groups: HashMap::new(),
             len: 0,
+            sealed: false,
+            unseal_events: 0,
         }
     }
 
@@ -71,10 +79,23 @@ impl GroupedQueryIndex {
         self.groups.keys().copied()
     }
 
+    /// Records that a mutation is about to happen. A mutation against a
+    /// sealed index is legal but slow (the affected group's arena R-tree
+    /// converts back to pointer form), so the transition is counted rather
+    /// than silent — callers that care (the serving layer's engine cache)
+    /// surface [`GroupedQueryIndex::unseal_events`] as a metric.
+    fn note_mutation(&mut self) {
+        if self.sealed {
+            self.sealed = false;
+            self.unseal_events += 1;
+        }
+    }
+
     /// Inserts a point into `group`, upgrading the group to an R-tree when
     /// it crosses [`TREE_THRESHOLD`].
     pub fn insert(&mut self, group: usize, point: Vec<f64>, payload: usize) {
         assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        self.note_mutation();
         let dim = self.dim;
         let store = self
             .groups
@@ -96,6 +117,10 @@ impl GroupedQueryIndex {
     /// Removes one point with the given payload from `group`.
     /// Returns `true` when something was removed.
     pub fn remove(&mut self, group: usize, point: &[f64], payload: usize) -> bool {
+        if !self.groups.contains_key(&group) {
+            return false;
+        }
+        self.note_mutation();
         let Some(store) = self.groups.get_mut(&group) else {
             return false;
         };
@@ -190,16 +215,36 @@ impl GroupedQueryIndex {
     }
 
     /// Seals every tree-backed group into its arena form (see
-    /// [`RTree::optimize`]). Call when the forest becomes read-only — e.g.
-    /// once `iq-core::ese::EvalContext` finishes grouping — so slab scans
-    /// run over flat node arrays; later inserts transparently unseal the
-    /// affected group.
-    pub fn optimize(&mut self) {
+    /// [`RTree::optimize`]) and enters the explicit sealed state. Call when
+    /// the forest becomes read-only — e.g. once
+    /// `iq-core::ese::EvalContext` finishes grouping — so slab scans run
+    /// over flat node arrays. A later [`GroupedQueryIndex::insert`] /
+    /// [`GroupedQueryIndex::remove`] still works, but leaves the sealed
+    /// state and bumps [`GroupedQueryIndex::unseal_events`], so the slow
+    /// path is observable instead of silent.
+    pub fn seal(&mut self) {
         for store in self.groups.values_mut() {
             if let GroupStore::Tree(t) = store {
                 t.optimize();
             }
         }
+        self.sealed = true;
+    }
+
+    /// Alias of [`GroupedQueryIndex::seal`], kept for parity with
+    /// [`RTree::optimize`].
+    pub fn optimize(&mut self) {
+        self.seal();
+    }
+
+    /// Whether the index is in the explicit sealed (read-only) state.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// How many mutations have hit a sealed index over its lifetime.
+    pub fn unseal_events(&self) -> u64 {
+        self.unseal_events
     }
 
     /// Rough in-memory footprint in bytes.
@@ -288,6 +333,43 @@ mod tests {
         assert!(idx.remove(3, &[2.0], 11));
         assert_eq!(idx.num_groups(), 0);
         assert!(!idx.remove(99, &[0.0], 0));
+    }
+
+    #[test]
+    fn seal_state_guard_counts_unseals() {
+        let mut idx = GroupedQueryIndex::new(1);
+        assert!(!idx.is_sealed());
+        for i in 0..50 {
+            idx.insert(0, vec![i as f64], i);
+        }
+        assert_eq!(idx.unseal_events(), 0, "building is not an unseal");
+        idx.seal();
+        assert!(idx.is_sealed());
+        // Reads keep the seal.
+        let slab = Slab::affected_subspace(
+            &Vector::from([1.0]),
+            &Vector::from([0.5]),
+            &Vector::from([-0.2]),
+        )
+        .unwrap();
+        let _ = idx.search_slab(0, &slab);
+        assert!(idx.is_sealed());
+        // A write against the sealed index is recorded, not silent.
+        idx.insert(0, vec![99.0], 99);
+        assert!(!idx.is_sealed());
+        assert_eq!(idx.unseal_events(), 1);
+        // Further writes while unsealed are free.
+        idx.insert(0, vec![100.0], 100);
+        assert_eq!(idx.unseal_events(), 1);
+        // Re-seal, then a remove unseals again.
+        idx.seal();
+        assert!(idx.remove(0, &[99.0], 99));
+        assert_eq!(idx.unseal_events(), 2);
+        // A remove that misses every group does not count as a mutation.
+        idx.seal();
+        assert!(!idx.remove(42, &[0.0], 0));
+        assert!(idx.is_sealed());
+        assert_eq!(idx.unseal_events(), 2);
     }
 
     #[test]

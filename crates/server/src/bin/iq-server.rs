@@ -1,0 +1,122 @@
+//! The `iq-server` binary: bind, optionally preload a seeded workload,
+//! serve until a client sends `SHUTDOWN`, then optionally dump metrics.
+//!
+//! ```text
+//! iq-server [--addr 127.0.0.1:4477] [--workers N] [--queue N]
+//!           [--deadline-ms MS] [--preload N_OBJECTS,N_QUERIES,DIM,SEED]
+//!           [--metrics-json PATH]
+//! ```
+
+use iq_core::ExecPolicy;
+use iq_server::{engine::Engine, metrics::Metrics, server, server::ServerConfig};
+use iq_workload::{seed_statements, standard_instance, Distribution, QueryDistribution};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: iq-server [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--deadline-ms MS] [--preload N_OBJECTS,N_QUERIES,DIM,SEED] \
+         [--metrics-json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:4477".into(),
+        ..ServerConfig::default()
+    };
+    let mut preload: Option<(usize, usize, usize, u64)> = None;
+    let mut metrics_json: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => {
+                config.queue_capacity = value("--queue").parse().unwrap_or_else(|_| usage())
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms").parse().unwrap_or_else(|_| usage());
+                config.default_deadline = Some(Duration::from_millis(ms));
+            }
+            "--preload" => {
+                let spec = value("--preload");
+                let parts: Vec<u64> = spec
+                    .split(',')
+                    .map(|p| p.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if parts.len() != 4 {
+                    usage();
+                }
+                preload = Some((
+                    parts[0] as usize,
+                    parts[1] as usize,
+                    parts[2] as usize,
+                    parts[3],
+                ));
+            }
+            "--metrics-json" => metrics_json = Some(value("--metrics-json")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+
+    // Per-request parallelism shares the machine with cross-request
+    // concurrency: each worker's IMPROVE gets an equal slice of threads.
+    let exec = ExecPolicy::share_across(config.workers.max(1));
+    let metrics = Arc::new(Metrics::new());
+    let engine = Arc::new(Engine::new(Arc::clone(&metrics), exec));
+
+    if let Some((n_objects, n_queries, dim, seed)) = preload {
+        let instance = standard_instance(
+            Distribution::Independent,
+            QueryDistribution::Uniform,
+            n_objects,
+            n_queries,
+            dim,
+            3,
+            seed,
+        );
+        for sql in seed_statements(&instance, "objects", "queries", 256) {
+            if let Err(e) = engine.execute_sql(&sql) {
+                eprintln!("preload failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("preloaded {n_objects} objects, {n_queries} queries (dim {dim}, seed {seed})");
+    }
+
+    let handle = match server::start(engine, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("iq-server listening on {}", handle.addr());
+    eprintln!("send SHUTDOWN on any connection to drain and stop");
+
+    let engine = Arc::clone(handle.engine());
+    handle.join();
+
+    if let Some(path) = metrics_json {
+        let json = engine.metrics().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {path}");
+    }
+}

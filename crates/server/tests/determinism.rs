@@ -1,0 +1,221 @@
+//! Concurrency determinism: the serving layer must never change answers.
+//!
+//! Two contracts, mirroring DESIGN.md §11:
+//!
+//! 1. **Read determinism** — N client threads issuing the identical
+//!    IMPROVE concurrently all receive byte-identical response lines,
+//!    equal to what a fresh single-threaded [`iq_dbms::Session`] renders.
+//! 2. **Write serializability** — any concurrent interleaving of writes
+//!    is equivalent to *some* serial order; the engine's write log records
+//!    that order, and replaying it through a fresh session reproduces the
+//!    exact final state.
+
+use iq_core::ExecPolicy;
+use iq_server::{protocol, Client, Engine, Metrics, ServerConfig, ServerHandle};
+use iq_workload::{seed_statements, standard_instance, Distribution, QueryDistribution};
+use iq_workload::{SqlStream, StatementMix};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn start_server(workers: usize) -> ServerHandle {
+    // share_across keeps worker-level concurrency honest even when the
+    // per-request ExecPolicy would itself fan out.
+    let exec = ExecPolicy::share_across(workers);
+    let engine = Arc::new(Engine::new(Arc::new(Metrics::new()), exec));
+    iq_server::start(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_capacity: 128,
+            default_deadline: None,
+        },
+    )
+    .expect("bind")
+}
+
+fn seed_sql() -> Vec<String> {
+    let instance = standard_instance(
+        Distribution::Independent,
+        QueryDistribution::Uniform,
+        40,
+        20,
+        2,
+        3,
+        17,
+    );
+    seed_statements(&instance, "objects", "queries", 16)
+}
+
+#[test]
+fn concurrent_identical_improves_are_byte_identical() {
+    let handle = start_server(4);
+    let mut seeder = Client::connect(handle.addr()).unwrap();
+    let seed = seed_sql();
+    for sql in &seed {
+        assert!(protocol::is_ok(&seeder.request(sql).unwrap()));
+    }
+
+    const IMPROVE: &str = "IMPROVE objects USING queries WHERE id = 3 MINCOST 4";
+    let addr = handle.addr();
+    let lines: Vec<Vec<String>> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                (0..5).map(|_| c.request(IMPROVE).unwrap()).collect()
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
+
+    // Every response from every thread is the same byte string…
+    let first = &lines[0][0];
+    for per_thread in &lines {
+        for line in per_thread {
+            assert_eq!(line, first, "concurrent IMPROVE answers diverged");
+        }
+    }
+    // …and equals a fresh sequential session's rendering.
+    let mut session = iq_dbms::Session::new();
+    for sql in &seed {
+        session.execute(sql).unwrap();
+    }
+    let expected = iq_dbms::outcome_json(&session.execute(IMPROVE).unwrap());
+    assert_eq!(*first, expected, "server answer differs from sequential");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn interleaved_writes_serialize_to_the_write_log_order() {
+    let handle = start_server(4);
+    let mut seeder = Client::connect(handle.addr()).unwrap();
+    let seed = seed_sql();
+    for sql in &seed {
+        assert!(protocol::is_ok(&seeder.request(sql).unwrap()));
+    }
+
+    // Several writer threads race deterministic per-thread streams of
+    // mixed reads and writes.
+    let instance = standard_instance(
+        Distribution::Independent,
+        QueryDistribution::Uniform,
+        40,
+        20,
+        2,
+        3,
+        17,
+    );
+    let addr = handle.addr();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let mut stream = SqlStream::new(
+                &instance,
+                "objects",
+                "queries",
+                StatementMix::default(),
+                3,
+                100 + t as u64,
+            );
+            let stmts: Vec<String> = (0..20).map(|_| stream.next_statement()).collect();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for sql in stmts {
+                    let r = c.request(&sql).unwrap();
+                    assert!(
+                        protocol::is_ok(&r) || protocol::error_kind(&r).is_some(),
+                        "{r}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // The write log is the serial history: replaying it through a fresh
+    // sequential session must reproduce the engine's exact table state.
+    let engine = Arc::clone(handle.engine());
+    let mut replay = iq_dbms::Session::new();
+    let log = engine.write_log();
+    assert!(log.len() >= seed.len(), "seed writes are in the log");
+    for sql in &log {
+        replay.execute(sql).unwrap();
+    }
+    let replay_engine = Engine::new(Arc::new(Metrics::new()), ExecPolicy::sequential());
+    for sql in &log {
+        replay_engine.execute_sql(sql).unwrap();
+    }
+    assert_eq!(
+        engine.dump_tables(),
+        replay_engine.dump_tables(),
+        "concurrent history is not equivalent to its serialization"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random small workloads, random thread/worker shapes: the write-log
+    /// replay invariant must hold for all of them.
+    #[test]
+    fn random_mixed_workloads_serialize(
+        workers in 1usize..4,
+        clients in 1usize..4,
+        per_client in 4usize..12,
+        seed in 0u64..1000,
+    ) {
+        let handle = start_server(workers);
+        let mut seeder = Client::connect(handle.addr()).unwrap();
+        let instance = standard_instance(
+            Distribution::Independent,
+            QueryDistribution::Uniform,
+            20,
+            10,
+            2,
+            3,
+            seed,
+        );
+        for sql in seed_statements(&instance, "objects", "queries", 8) {
+            prop_assert!(protocol::is_ok(&seeder.request(&sql).unwrap()));
+        }
+
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..clients)
+            .map(|t| {
+                let mut stream = SqlStream::new(
+                    &instance, "objects", "queries",
+                    StatementMix::default(), 2, seed ^ (t as u64 + 1),
+                );
+                let stmts: Vec<String> =
+                    (0..per_client).map(|_| stream.next_statement()).collect();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    for sql in stmts {
+                        let _ = c.request(&sql).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+
+        let engine = Arc::clone(handle.engine());
+        let replay = Engine::new(Arc::new(Metrics::new()), ExecPolicy::sequential());
+        for sql in engine.write_log() {
+            replay.execute_sql(&sql).unwrap();
+        }
+        prop_assert_eq!(engine.dump_tables(), replay.dump_tables());
+
+        handle.shutdown();
+        handle.join();
+    }
+}

@@ -1,0 +1,215 @@
+//! End-to-end tests over real TCP: a server on an ephemeral port, real
+//! clients, full request/response round-trips including parse errors,
+//! deadlines, stats, and graceful shutdown.
+
+use iq_core::ExecPolicy;
+use iq_server::{protocol, Client, Engine, Metrics, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_server(workers: usize, queue: usize) -> iq_server::ServerHandle {
+    let engine = Arc::new(Engine::new(
+        Arc::new(Metrics::new()),
+        ExecPolicy::sequential(),
+    ));
+    iq_server::start(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_capacity: queue,
+            default_deadline: None,
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn seed(c: &mut Client) {
+    for sql in [
+        "CREATE TABLE objects (id INT, a1 FLOAT, a2 FLOAT)",
+        "INSERT INTO objects VALUES (0, 0.9, 0.8), (1, 0.2, 0.3), (2, 0.5, 0.5)",
+        "CREATE TABLE queries (w1 FLOAT, w2 FLOAT, k INT)",
+        "INSERT INTO queries VALUES (0.9, 0.1, 1), (0.5, 0.5, 2), (0.1, 0.9, 1)",
+    ] {
+        let r = c.request(sql).unwrap();
+        assert!(protocol::is_ok(&r), "seed failed: {r}");
+    }
+}
+
+#[test]
+fn crud_round_trips_over_tcp() {
+    let handle = start_server(2, 16);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    seed(&mut c);
+
+    let r = c
+        .request("SELECT id, a1 FROM objects WHERE id = 1")
+        .unwrap();
+    assert_eq!(
+        r,
+        "{\"ok\":true,\"outcome\":\"rows\",\"columns\":[\"id\",\"a1\"],\"rows\":[[1,0.2]]}"
+    );
+
+    let r = c
+        .request("UPDATE objects SET a1 = 0.25 WHERE id = 1")
+        .unwrap();
+    assert_eq!(r, "{\"ok\":true,\"outcome\":\"updated\",\"count\":1}");
+
+    let r = c
+        .request("IMPROVE objects USING queries WHERE id = 2 MINCOST 2")
+        .unwrap();
+    assert!(protocol::is_ok(&r), "{r}");
+    assert!(r.contains("\"outcome\":\"rows\""));
+
+    let r = c.request("SHOW TABLES").unwrap();
+    assert!(r.contains("objects") && r.contains("queries"), "{r}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn parse_errors_round_trip_with_byte_offsets() {
+    let handle = start_server(1, 8);
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Duplicate CREATE TABLE column: rejected at parse time, offset of the
+    // second occurrence survives the wire (satellite 1's contract).
+    let sql = "CREATE TABLE t (id INT, a FLOAT, a FLOAT)";
+    let r = c.request(sql).unwrap();
+    assert!(!protocol::is_ok(&r));
+    assert_eq!(protocol::error_kind(&r), Some("syntax"));
+    let offset = protocol::error_offset(&r).expect("offset present");
+    assert_eq!(&sql[offset..offset + 1], "a", "points at the duplicate");
+
+    // Plain syntax error: offset points at the offending byte.
+    let r = c.request("SELECT ~ FROM t").unwrap();
+    assert_eq!(protocol::error_kind(&r), Some("syntax"));
+    assert_eq!(protocol::error_offset(&r), Some(7));
+
+    // Semantic error keeps its kind.
+    let r = c.request("SELECT id FROM nope").unwrap();
+    assert_eq!(protocol::error_kind(&r), Some("unknown_table"));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn show_stats_reflects_traffic() {
+    let handle = start_server(2, 16);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    seed(&mut c);
+    for _ in 0..3 {
+        c.request("SELECT id FROM objects WHERE id = 0").unwrap();
+    }
+    c.request("SELECT broken ~").unwrap(); // one invalid line
+
+    let r = c.request("SHOW STATS").unwrap();
+    let stats = protocol::parse_stats(&r).expect("stats decode");
+    let get = |name: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(get("select_ok"), 3);
+    assert_eq!(get("insert_ok"), 2);
+    assert_eq!(get("invalid_errors"), 1);
+    assert!(get("select_p50_us") > 0, "latency histogram populated");
+    assert!(get("connections") >= 1);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn zero_deadline_times_out_in_queue() {
+    let handle = start_server(1, 8);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    // @0 expires before any worker can dequeue it.
+    let r = c.request("@0 SELECT 1 FROM t").unwrap();
+    assert_eq!(protocol::error_kind(&r), Some("timed_out"));
+    assert_eq!(
+        handle
+            .engine()
+            .metrics()
+            .timed_out
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    // The connection is still usable afterwards.
+    let r = c.request("SHOW TABLES").unwrap();
+    assert!(protocol::is_ok(&r), "{r}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_statement_drains_gracefully() {
+    let handle = start_server(2, 16);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    seed(&mut c);
+
+    let r = c.request("SHUTDOWN").unwrap();
+    assert_eq!(r, "{\"ok\":true,\"outcome\":\"shutdown\"}");
+    assert!(handle.is_shutting_down());
+    let addr = handle.addr();
+    handle.join();
+
+    // After the drain completes the port no longer accepts work: either
+    // the connect fails outright or the connection is never served.
+    // The connect may still succeed via the OS backlog, but the request
+    // must never be served.
+    if let Ok(mut c2) = Client::connect(addr) {
+        if let Ok(r) = c2.request("SHOW TABLES") {
+            panic!("post-shutdown request must not be served: {r}");
+        }
+    }
+}
+
+#[test]
+fn full_queue_rejects_with_backpressure() {
+    // One worker, capacity-1 queue: stuff it with slow IMPROVEs from many
+    // connections and at least one concurrent request must bounce.
+    let handle = start_server(1, 1);
+    let mut seeder = Client::connect(handle.addr()).unwrap();
+    seed(&mut seeder);
+
+    let addr = handle.addr();
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut rejected = 0;
+                for _ in 0..10 {
+                    let r = c
+                        .request("IMPROVE objects USING queries WHERE id = 0 MINCOST 2")
+                        .unwrap();
+                    if protocol::error_kind(&r) == Some("rejected") {
+                        rejected += 1;
+                    } else {
+                        assert!(protocol::is_ok(&r), "{r}");
+                    }
+                }
+                rejected
+            })
+        })
+        .collect();
+    let total_rejected: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert_eq!(
+        total_rejected,
+        handle
+            .engine()
+            .metrics()
+            .rejected
+            .load(std::sync::atomic::Ordering::Relaxed),
+        "client-visible rejections match the counter"
+    );
+
+    handle.shutdown();
+    handle.join();
+    std::thread::sleep(Duration::from_millis(10));
+}

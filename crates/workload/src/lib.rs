@@ -12,10 +12,12 @@
 
 pub mod queries;
 pub mod real;
+pub mod sqlgen;
 pub mod synthetic;
 
 pub use queries::{QueryDistribution, K_RANGE};
 pub use real::RealDataset;
+pub use sqlgen::{seed_statements, SqlStream, StatementMix};
 pub use synthetic::Distribution;
 
 use iq_core::Instance;

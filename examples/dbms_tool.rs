@@ -12,8 +12,7 @@ fn main() {
     let mut run = |sql: &str| {
         println!("sql> {sql}");
         match session.execute(sql) {
-            Ok(Outcome::Rows(r)) => println!("{}", r.to_ascii()),
-            Ok(other) => println!("ok: {other:?}\n"),
+            Ok(outcome) => println!("{}\n", outcome_text(&outcome)),
             Err(e) => println!("error: {e}\n"),
         }
     };

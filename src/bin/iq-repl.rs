@@ -14,7 +14,7 @@
 //! Meta commands: `\d` lists tables, `\d <table>` shows a schema, `\q`
 //! quits. Statements may span lines; `;` submits.
 
-use improvement_queries::dbms::{Outcome, Session};
+use improvement_queries::dbms::{outcome_text, Session};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -73,13 +73,7 @@ fn main() {
         }
         let sql = std::mem::take(&mut buffer);
         match session.execute(sql.trim()) {
-            Ok(Outcome::Rows(r)) => println!("{}", r.to_ascii()),
-            Ok(Outcome::Created(name)) => println!("created table {name}"),
-            Ok(Outcome::Inserted(n)) => println!("inserted {n} row(s)"),
-            Ok(Outcome::Copied(n)) => println!("copied {n} row(s)"),
-            Ok(Outcome::Updated(n)) => println!("updated {n} row(s)"),
-            Ok(Outcome::Deleted(n)) => println!("deleted {n} row(s)"),
-            Ok(Outcome::Dropped(name)) => println!("dropped table {name}"),
+            Ok(outcome) => println!("{}", outcome_text(&outcome)),
             Err(e) => println!("error: {e}"),
         }
     }

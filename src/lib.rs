@@ -43,12 +43,14 @@
 //! | [`topk`] (`iq-topk`) | naive top-k, Dominant Graph, RTA, Onion, reverse queries |
 //! | [`workload`] (`iq-workload`) | IN/CO/AC synthetics, simulated VEHICLE/HOUSE, UN/CL queries |
 //! | [`dbms`] (`iq-dbms`) | SQL engine with the `IMPROVE` statement |
+//! | [`server`] (`iq-server`) | concurrent TCP serving layer over the SQL engine |
 
 pub use iq_core as core;
 pub use iq_dbms as dbms;
 pub use iq_expr as expr;
 pub use iq_geometry as geometry;
 pub use iq_index as index;
+pub use iq_server as server;
 pub use iq_solver as solver;
 pub use iq_topk as topk;
 pub use iq_workload as workload;
@@ -61,7 +63,7 @@ pub mod prelude {
         IqReport, L1Cost, QueryIndex, SearchOptions, StrategyBounds, TargetEvaluator, TopKQuery,
         WeightedEuclideanCost,
     };
-    pub use iq_dbms::{Outcome, Session};
+    pub use iq_dbms::{outcome_text, Outcome, Session};
     pub use iq_expr::{parse as parse_expr, Expr, GenericFamily, LinearizedUtility, Schema};
     pub use iq_geometry::Vector;
     pub use iq_workload::{standard_instance, Distribution, QueryDistribution};
