@@ -13,14 +13,23 @@
 //! *measured*, never assumed — CI runs this on multi-core machines where
 //! the concurrency actually shows (see DESIGN.md §11).
 //!
+//! With `--durability` the serving phases are replaced by a durability
+//! benchmark: an in-process durable engine (no TCP) timed through a
+//! write-only workload once per fsync mode (`always`, `batch:64`,
+//! `never`), plus a timed recovery replay and an auto-checkpoint
+//! exercise. The JSON rows feed CI's `recovery-smoke` job against the
+//! committed `BENCH_pr4.json` baseline.
+//!
 //! ```text
 //! loadgen [--objects N] [--queries N] [--dim D] [--seed S] [--tau T]
 //!         [--requests N] [--conns N] [--workers N] [--queue N]
-//!         [--json PATH] [--check-stats]
+//!         [--json PATH] [--check-stats] [--durability] [--writes N]
 //! ```
 
 use iq_core::{ExecPolicy, Instance};
-use iq_server::{protocol, Client, Engine, Metrics, ServerConfig, ServerHandle};
+use iq_server::{
+    protocol, Client, DurabilityConfig, Engine, FsyncMode, Metrics, ServerConfig, ServerHandle,
+};
 use iq_workload::{
     seed_statements, standard_instance, Distribution, QueryDistribution, SqlStream, StatementMix,
 };
@@ -40,6 +49,8 @@ struct Config {
     queue: usize,
     json: Option<String>,
     check_stats: bool,
+    durability: bool,
+    writes: usize,
 }
 
 impl Default for Config {
@@ -56,6 +67,8 @@ impl Default for Config {
             queue: 256,
             json: None,
             check_stats: false,
+            durability: false,
+            writes: 400,
         }
     }
 }
@@ -64,7 +77,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--objects N] [--queries N] [--dim D] [--seed S] [--tau T] \
          [--requests PER_CONN] [--conns N] [--workers N] [--queue N] \
-         [--json PATH] [--check-stats]"
+         [--json PATH] [--check-stats] [--durability] [--writes N]"
     );
     std::process::exit(2);
 }
@@ -86,6 +99,8 @@ fn parse_args() -> Config {
             "--queue" => cfg.queue = value().parse().unwrap_or_else(|_| usage()),
             "--json" => cfg.json = Some(value()),
             "--check-stats" => cfg.check_stats = true,
+            "--durability" => cfg.durability = true,
+            "--writes" => cfg.writes = value().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -178,8 +193,167 @@ fn run_phase(
     merged
 }
 
+/// Writes the CI-facing BENCH JSON shape: `{"benches": [{name, value,
+/// unit}, …]}` — what `scripts/bench_diff.py` consumes.
+fn write_bench_json(path: &str, rows: &[(String, f64, &str)]) {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, (name, value, unit)) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"name\": \"{name}\", \"value\": {value}, \"unit\": \"{unit}\" }}"
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write json");
+    eprintln!("wrote {path}");
+}
+
+/// Opens a durable engine on `dir` (sequential exec — durability cost is
+/// what's under test, not search parallelism).
+fn open_durable(
+    dir: &std::path::Path,
+    fsync: FsyncMode,
+    checkpoint_bytes: Option<u64>,
+) -> (Engine, iq_server::Recovery) {
+    Engine::with_storage(
+        Arc::new(Metrics::new()),
+        ExecPolicy::sequential(),
+        DurabilityConfig {
+            data_dir: dir.to_path_buf(),
+            fsync,
+            checkpoint_bytes,
+        },
+    )
+    .expect("open durable engine")
+}
+
+/// One durability phase: `writes` single-row INSERTs through a fresh
+/// durable engine under `fsync`, then a timed recovery replay of the same
+/// directory. Returns (write rps, recovery-replay rps, recovered dump).
+fn durability_phase(dir: &std::path::Path, fsync: FsyncMode, writes: usize) -> (f64, f64, String) {
+    let _ = std::fs::remove_dir_all(dir);
+    let (engine, _) = open_durable(dir, fsync, None);
+    engine
+        .execute_sql("CREATE TABLE t (id INT, x FLOAT)")
+        .expect("create");
+    let started = Instant::now();
+    for i in 0..writes {
+        let v = (i * 37 % 1000) as f64 / 1000.0;
+        engine
+            .execute_sql(&format!("INSERT INTO t VALUES ({i}, {v})"))
+            .expect("insert");
+    }
+    let write_rps = writes as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    drop(engine); // clean close: flushes any unsynced batch tail
+
+    let started = Instant::now();
+    let (engine, recovery) = open_durable(dir, fsync, None);
+    let replay_rps = recovery.statements.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(
+        recovery.statements.len(),
+        writes + 1,
+        "every acknowledged write recovered"
+    );
+    (write_rps, replay_rps, engine.dump_tables())
+}
+
+/// The `--durability` mode: write throughput per fsync discipline,
+/// recovery replay rate, and an auto-checkpoint exercise — all in-process
+/// (the WAL sits under the engine, not the TCP layer).
+fn run_durability(cfg: &Config) {
+    let base = std::env::temp_dir().join(format!("iq_loadgen_dur_{}", std::process::id()));
+    let modes: [(&str, FsyncMode); 3] = [
+        ("always", FsyncMode::Always),
+        ("batch64", "batch:64".parse().expect("batch mode")),
+        ("never", FsyncMode::Never),
+    ];
+    eprintln!("durability: {} writes per fsync mode", cfg.writes);
+
+    let mut rows: Vec<(String, f64, &str)> = Vec::new();
+    let mut dumps: Vec<String> = Vec::new();
+    let mut replay_always = 0.0;
+    for (label, fsync) in modes {
+        let (write_rps, replay_rps, dump) = durability_phase(&base.join(label), fsync, cfg.writes);
+        eprintln!(
+            "  fsync {label}: {write_rps:.0} writes/s, recovery replay {replay_rps:.0} stmts/s"
+        );
+        rows.push((
+            format!("durability/fsync_{label}/write_throughput"),
+            write_rps,
+            "rps",
+        ));
+        if label == "always" {
+            replay_always = replay_rps;
+        }
+        dumps.push(dump);
+    }
+    // Same writes, any fsync mode ⇒ byte-identical recovered state.
+    assert!(
+        dumps.windows(2).all(|w| w[0] == w[1]),
+        "fsync mode changed the recovered state"
+    );
+    rows.push((
+        "durability/recovery_replay_rate".into(),
+        replay_always,
+        "rps",
+    ));
+
+    // Auto-checkpoint: a small threshold must rotate the WAL mid-run and
+    // recovery must come back through the snapshot to the same state.
+    let ckpt_dir = base.join("autockpt");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let (engine, _) = open_durable(&ckpt_dir, FsyncMode::Always, Some(4096));
+    engine
+        .execute_sql("CREATE TABLE t (id INT, x FLOAT)")
+        .expect("create");
+    for i in 0..cfg.writes {
+        let v = (i * 37 % 1000) as f64 / 1000.0;
+        engine
+            .execute_sql(&format!("INSERT INTO t VALUES ({i}, {v})"))
+            .expect("insert");
+    }
+    let checkpoints = engine
+        .metrics()
+        .checkpoints
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(checkpoints >= 1, "auto-checkpoint never fired");
+    let before = engine.dump_tables();
+    drop(engine);
+    let (engine, recovery) = open_durable(&ckpt_dir, FsyncMode::Always, Some(4096));
+    assert!(
+        recovery.snapshot_statements > 0,
+        "recovery used the snapshot"
+    );
+    assert_eq!(engine.dump_tables(), before, "checkpointed state survived");
+    assert_eq!(
+        engine.dump_tables(),
+        dumps[0],
+        "checkpoint changed the state"
+    );
+    eprintln!(
+        "  auto-checkpoint: {checkpoints} rotation(s), recovered through generation {}",
+        recovery.generation
+    );
+    rows.push((
+        "durability/auto_checkpoint/rotations".into(),
+        checkpoints as f64,
+        "count",
+    ));
+    rows.push(("durability/writes".into(), cfg.writes as f64, "count"));
+
+    let _ = std::fs::remove_dir_all(&base);
+    if let Some(path) = &cfg.json {
+        write_bench_json(path, &rows);
+    }
+}
+
 fn main() {
     let cfg = parse_args();
+    if cfg.durability {
+        run_durability(&cfg);
+        return;
+    }
 
     let exec = ExecPolicy::share_across(cfg.workers);
     let metrics = Arc::new(Metrics::new());
@@ -300,17 +474,7 @@ fn main() {
         rows.push(("serve/scaling_ratio".into(), ratio, "x"));
         rows.push(("serve/cores".into(), cores as f64, "count"));
 
-        let mut out = String::from("{\n  \"benches\": [\n");
-        for (i, (name, value, unit)) in rows.iter().enumerate() {
-            let _ = write!(
-                out,
-                "    {{ \"name\": \"{name}\", \"value\": {value}, \"unit\": \"{unit}\" }}"
-            );
-            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("  ]\n}\n");
-        std::fs::write(path, out).expect("write json");
-        eprintln!("wrote {path}");
+        write_bench_json(path, &rows);
     }
 
     let _ = seeder.request("SHUTDOWN").expect("shutdown");

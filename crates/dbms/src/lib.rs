@@ -31,7 +31,7 @@ pub mod value;
 pub use csv::table_from_csv;
 pub use exec::QueryResult;
 pub use parser::{parse, Statement};
-pub use render::{error_json, outcome_json, outcome_text, result_text};
+pub use render::{error_json, outcome_json, outcome_text, result_text, snapshot_sql, sql_literal};
 pub use session::{Outcome, Session};
 pub use table::{Column, Schema, Table};
 pub use value::{ColumnType, Value};
@@ -81,6 +81,10 @@ pub enum DbError {
     },
     /// IMPROVE-specific failure.
     Improve(String),
+    /// Durable-storage failure (WAL append, checkpoint, recovery). The
+    /// storage layer lives in `iq-storage`; the server maps its errors
+    /// into this variant so they ride the shared wire encoding.
+    Storage(String),
 }
 
 impl fmt::Display for DbError {
@@ -106,6 +110,7 @@ impl fmt::Display for DbError {
                 write!(f, "column `{column}` expects {expected}, got {found}")
             }
             DbError::Improve(m) => write!(f, "IMPROVE error: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

@@ -91,6 +91,13 @@ pub enum Statement {
     /// SHUTDOWN — ask the server to drain and stop. Like `SHOW STATS`,
     /// only meaningful over an `iq-server` connection.
     Shutdown,
+    /// CHECKPOINT — snapshot table state to disk and truncate the WAL.
+    /// Only meaningful on a server running with `--data-dir`; a plain
+    /// [`crate::Session`] reports [`DbError::Unsupported`].
+    Checkpoint,
+    /// SHOW WAL — the storage layer's counters (generation, WAL size,
+    /// fsyncs, recovery stats). Server-only, like `SHOW STATS`.
+    ShowWal,
 }
 
 /// Whether a statement only reads session state. Read-only statements may
@@ -98,9 +105,14 @@ pub enum Statement {
 /// reader path); everything else must serialize through the write path.
 pub fn is_read_only(stmt: &Statement) -> bool {
     match stmt {
-        Statement::Select(_) | Statement::ShowTables | Statement::ShowStats => true,
+        Statement::Select(_)
+        | Statement::ShowTables
+        | Statement::ShowStats
+        | Statement::ShowWal => true,
         // IMPROVE without APPLY is a pure analytic query; APPLY mutates.
         Statement::Improve(imp) => !imp.apply,
+        // CHECKPOINT writes no rows, but it rotates storage files and
+        // must see a quiesced table state — it serializes with writers.
         _ => false,
     }
 }
@@ -288,19 +300,39 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>, DbError> {
                 }
             }
             b'\'' => {
-                let start = i + 1;
-                let mut j = start;
-                while j < b.len() && b[j] != b'\'' {
-                    j += 1;
+                // Standard SQL quoting: `''` inside a literal is one `'`.
+                // (Needed so rendered snapshots of arbitrary TEXT values
+                // re-parse; see `render::sql_literal`.)
+                let mut text = Vec::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < b.len() {
+                    if b[j] == b'\'' {
+                        if j + 1 < b.len() && b[j + 1] == b'\'' {
+                            text.push(b'\'');
+                            j += 2;
+                        } else {
+                            closed = true;
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        text.push(b[j]);
+                        j += 1;
+                    }
                 }
-                if j >= b.len() {
+                if !closed {
                     return Err(DbError::SyntaxAt {
                         offset: at,
                         message: "unterminated string literal".into(),
                     });
                 }
-                toks.push((Tok::Str(input[start..j].to_string()), at));
-                i = j + 1;
+                let text = String::from_utf8(text).map_err(|_| DbError::SyntaxAt {
+                    offset: at,
+                    message: "string literal is not valid UTF-8".into(),
+                })?;
+                toks.push((Tok::Str(text), at));
+                i = j;
             }
             b'0'..=b'9' | b'.' | b'-' => {
                 let start = i;
@@ -774,15 +806,19 @@ pub fn parse(input: &str) -> Result<Statement, DbError> {
             Statement::ShowTables
         } else if p.eat_keyword("STATS") {
             Statement::ShowStats
+        } else if p.eat_keyword("WAL") {
+            Statement::ShowWal
         } else {
-            return Err(p.err("expected TABLES or STATS after SHOW"));
+            return Err(p.err("expected TABLES, STATS, or WAL after SHOW"));
         }
     } else if p.eat_keyword("SHUTDOWN") {
         Statement::Shutdown
+    } else if p.eat_keyword("CHECKPOINT") {
+        Statement::Checkpoint
     } else {
         return Err(p.err(
             "expected CREATE, INSERT, SELECT, UPDATE, DELETE, COPY, DROP, IMPROVE, SHOW, \
-             or SHUTDOWN",
+             CHECKPOINT, or SHUTDOWN",
         ));
     };
     p.eat_symbol(";");
@@ -1051,11 +1087,44 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_and_show_wal_statements() {
+        assert_eq!(parse("CHECKPOINT").unwrap(), Statement::Checkpoint);
+        assert_eq!(parse("checkpoint;").unwrap(), Statement::Checkpoint);
+        assert_eq!(parse("SHOW WAL").unwrap(), Statement::ShowWal);
+        assert_eq!(parse("show wal;").unwrap(), Statement::ShowWal);
+        // Trailing garbage still reports its byte offset.
+        assert_eq!(offset_of(parse("CHECKPOINT now").unwrap_err()), 11);
+        assert_eq!(offset_of(parse("SHOW WAL please").unwrap_err()), 9);
+        // SHOW with a bad object points at the object token.
+        assert_eq!(offset_of(parse("SHOW wals").unwrap_err()), 5);
+    }
+
+    #[test]
+    fn string_literals_support_doubled_quotes() {
+        let s = parse("INSERT INTO t VALUES ('it''s', '''', 'a''''b')").unwrap();
+        match s {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows[0][0], Value::Text("it's".into()));
+                assert_eq!(rows[0][1], Value::Text("'".into()));
+                assert_eq!(rows[0][2], Value::Text("a''b".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        // A lone trailing quote is still unterminated.
+        assert_eq!(
+            offset_of(parse("INSERT INTO t VALUES ('x''").unwrap_err()),
+            22
+        );
+    }
+
+    #[test]
     fn read_only_classification() {
         let ro = |sql: &str| is_read_only(&parse(sql).unwrap());
         assert!(ro("SELECT * FROM t"));
         assert!(ro("SHOW TABLES"));
         assert!(ro("SHOW STATS"));
+        assert!(ro("SHOW WAL"));
+        assert!(!ro("CHECKPOINT"));
         assert!(ro("IMPROVE t USING q MINCOST 3"));
         assert!(!ro("IMPROVE t USING q MINCOST 3 APPLY"));
         assert!(!ro("INSERT INTO t VALUES (1)"));

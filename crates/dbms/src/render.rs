@@ -90,6 +90,12 @@ pub fn outcome_text(outcome: &Outcome) -> String {
         Outcome::Deleted(n) => format!("deleted {n} row(s)"),
         Outcome::Dropped(name) => format!("dropped table {name}"),
         Outcome::Rows(r) => result_text(r),
+        Outcome::Checkpointed {
+            generation,
+            wal_truncated,
+        } => format!(
+            "checkpointed to generation {generation} ({wal_truncated} wal record(s) truncated)"
+        ),
     }
 }
 
@@ -148,8 +154,74 @@ pub fn outcome_json(outcome: &Outcome) -> String {
             }
             out.push(']');
         }
+        Outcome::Checkpointed {
+            generation,
+            wal_truncated,
+        } => {
+            let _ = write!(
+                out,
+                "\"checkpointed\",\"generation\":{generation},\"wal_truncated\":{wal_truncated}"
+            );
+        }
     }
     out.push('}');
+    out
+}
+
+/// Renders one [`Value`] as a SQL literal that re-parses to the same
+/// value. Floats keep Rust's shortest round-trip digits but always carry
+/// a `.` so they re-lex as floats (`-0.0` must not collapse to the
+/// integer `0`); quotes in TEXT are doubled per standard SQL. Non-finite
+/// floats have no literal spelling and degrade to NULL — they cannot be
+/// produced through the SQL surface in the first place.
+pub fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) if f.is_finite() => {
+            let s = format!("{f}");
+            if s.contains('.') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Float(_) => "NULL".to_string(),
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Bool(true) => "TRUE".to_string(),
+        Value::Bool(false) => "FALSE".to_string(),
+        Value::Null => "NULL".to_string(),
+    }
+}
+
+/// Serializes a session's entire table state as SQL statements — the
+/// storage layer's snapshot encoding (DESIGN.md §12). Tables appear in
+/// sorted name order as one CREATE TABLE followed by INSERTs batched
+/// `rows_per_insert` at a time, so replaying the statements through a
+/// fresh [`Session`] reproduces the state exactly (INT literals coerce
+/// back to FLOAT cells on insert, per [`crate::Table::insert`]).
+pub fn snapshot_sql(session: &crate::Session, rows_per_insert: usize) -> Vec<String> {
+    let rows_per_insert = rows_per_insert.max(1);
+    let mut out = Vec::new();
+    for name in session.table_names() {
+        let table = session.table(name).expect("listed table exists");
+        let cols: Vec<String> = table
+            .schema
+            .columns()
+            .iter()
+            .map(|c| format!("{} {}", c.name, c.ty))
+            .collect();
+        out.push(format!("CREATE TABLE {name} ({})", cols.join(", ")));
+        for chunk in table.rows().chunks(rows_per_insert) {
+            let tuples: Vec<String> = chunk
+                .iter()
+                .map(|row| {
+                    let cells: Vec<String> = row.iter().map(sql_literal).collect();
+                    format!("({})", cells.join(", "))
+                })
+                .collect();
+            out.push(format!("INSERT INTO {name} VALUES {}", tuples.join(", ")));
+        }
+    }
     out
 }
 
@@ -169,6 +241,7 @@ pub fn error_json(err: &DbError) -> String {
         DbError::ArityMismatch { .. } => "arity",
         DbError::TypeMismatch { .. } => "type",
         DbError::Improve(_) => "improve",
+        DbError::Storage(_) => "storage",
     };
     let mut out = String::from("{\"ok\":false,\"kind\":");
     json_string(&mut out, kind);
@@ -297,6 +370,95 @@ mod tests {
         let mut s = String::new();
         json_string(&mut s, "a\nb\t\\\"\u{1}");
         assert_eq!(s, "\"a\\nb\\t\\\\\\\"\\u0001\"");
+    }
+
+    #[test]
+    fn checkpointed_outcome_renders() {
+        let o = Outcome::Checkpointed {
+            generation: 3,
+            wal_truncated: 17,
+        };
+        assert_eq!(
+            outcome_text(&o),
+            "checkpointed to generation 3 (17 wal record(s) truncated)"
+        );
+        assert_eq!(
+            outcome_json(&o),
+            "{\"ok\":true,\"outcome\":\"checkpointed\",\"generation\":3,\"wal_truncated\":17}"
+        );
+    }
+
+    #[test]
+    fn sql_literals_reparse_to_the_same_value() {
+        use crate::parser::{parse, Statement};
+        let cases = vec![
+            Value::Int(-42),
+            Value::Float(0.5),
+            Value::Float(1.0),
+            Value::Float(-0.0),
+            Value::Float(0.1 + 0.2),
+            Value::Text("plain".into()),
+            Value::Text("it's got 'quotes'".into()),
+            Value::Text(String::new()),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Null,
+        ];
+        let literals: Vec<String> = cases.iter().map(sql_literal).collect();
+        let sql = format!("INSERT INTO t VALUES ({})", literals.join(", "));
+        match parse(&sql).unwrap() {
+            Statement::Insert { rows, .. } => {
+                for (orig, parsed) in cases.iter().zip(&rows[0]) {
+                    assert_eq!(orig, parsed, "literal {}", sql_literal(orig));
+                    // Bit-exact for floats: -0.0 must stay -0.0.
+                    if let (Value::Float(a), Value::Float(b)) = (orig, parsed) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_sql_round_trips_session_state() {
+        let mut s = crate::Session::new();
+        s.execute("CREATE TABLE cams (id INT, price FLOAT, name TEXT, hot BOOL)")
+            .unwrap();
+        s.execute(
+            "INSERT INTO cams VALUES (1, 0.5, 'a''b', TRUE), (2, 7.0, NULL, FALSE), (3, -0.0, '', TRUE)",
+        )
+        .unwrap();
+        s.execute("CREATE TABLE prefs (w1 FLOAT, k INT)").unwrap();
+        s.execute("INSERT INTO prefs VALUES (0.25, 1), (0.75, 2), (0.5, 3)")
+            .unwrap();
+
+        // Batch size 2 forces multiple INSERTs per table.
+        let stmts = snapshot_sql(&s, 2);
+        let mut replayed = crate::Session::new();
+        for stmt in &stmts {
+            replayed.execute(stmt).unwrap();
+        }
+        assert_eq!(replayed.table_names(), s.table_names());
+        let names: Vec<String> = s.table_names().iter().map(|n| n.to_string()).collect();
+        for name in &names {
+            let (a, b) = (s.table(name).unwrap(), replayed.table(name).unwrap());
+            let (a, b) = (a.clone(), b.clone());
+            assert_eq!(a.schema.columns(), b.schema.columns(), "{name}");
+            assert_eq!(a.rows(), b.rows(), "{name}");
+            // And byte-identical through the shared text encoder.
+            let q = format!("SELECT * FROM {name}");
+            assert_eq!(
+                outcome_text(&s.execute(&q).unwrap()),
+                outcome_text(&replayed.execute(&q).unwrap())
+            );
+        }
+        // INT literals in a FLOAT column came back as floats (7.0 renders
+        // as `7` but reparses into the FLOAT column).
+        assert_eq!(
+            replayed.table("cams").unwrap().rows()[1][1],
+            Value::Float(7.0)
+        );
     }
 
     #[test]

@@ -24,6 +24,14 @@ pub enum Outcome {
     Dropped(String),
     /// A result set (SELECT or IMPROVE).
     Rows(QueryResult),
+    /// A storage checkpoint completed (server-side; a plain session has
+    /// no storage layer and never produces this).
+    Checkpointed {
+        /// The new storage generation.
+        generation: u64,
+        /// WAL records made redundant by the snapshot.
+        wal_truncated: u64,
+    },
 }
 
 /// An in-memory database session.
@@ -82,6 +90,9 @@ impl Session {
                 Ok(Outcome::Rows(select(t, sel)?))
             }
             Statement::ShowTables => Ok(Outcome::Rows(self.show_tables())),
+            Statement::ShowWal => Err(DbError::Unsupported(
+                "SHOW WAL requires an iq-server connection with --data-dir".into(),
+            )),
             Statement::Improve(imp) if !imp.apply => {
                 let queries = self
                     .tables
@@ -215,6 +226,12 @@ impl Session {
             )),
             Statement::Shutdown => Err(DbError::Unsupported(
                 "SHUTDOWN requires an iq-server connection".into(),
+            )),
+            Statement::Checkpoint => Err(DbError::Unsupported(
+                "CHECKPOINT requires an iq-server connection with --data-dir".into(),
+            )),
+            Statement::ShowWal => Err(DbError::Unsupported(
+                "SHOW WAL requires an iq-server connection with --data-dir".into(),
             )),
         }
     }
@@ -451,6 +468,14 @@ mod tests {
         ));
         assert!(matches!(
             s.execute("SHUTDOWN"),
+            Err(DbError::Unsupported(_))
+        ));
+        assert!(matches!(
+            s.execute("CHECKPOINT"),
+            Err(DbError::Unsupported(_))
+        ));
+        assert!(matches!(
+            s.execute("SHOW WAL"),
             Err(DbError::Unsupported(_))
         ));
     }

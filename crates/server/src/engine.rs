@@ -30,19 +30,55 @@ use iq_core::update::{self, UpdateStats};
 use iq_core::{ExecPolicy, SearchOptions, TopKQuery};
 use iq_dbms::iqext::{self, Prepared};
 use iq_dbms::parser::{is_read_only, ImproveStmt, Statement};
-use iq_dbms::{error_json, outcome_json, parse, DbError, Outcome, Session, Value};
+use iq_dbms::{error_json, outcome_json, parse, DbError, Outcome, QueryResult, Session, Value};
+use iq_storage::{FsyncMode, Recovery, Storage, StorageConfig};
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 /// Cache key: lowercased `(object_table, query_table)`.
 type CacheKey = (String, String);
 
+/// Rows per INSERT statement in checkpoint snapshots — large enough to
+/// amortize parse overhead on recovery, small enough to keep any single
+/// statement's allocation modest.
+const SNAPSHOT_ROWS_PER_INSERT: usize = 128;
+
 struct EngineState {
     session: Session,
     cache: HashMap<CacheKey, Prepared>,
-    /// Write statements in commit order (the serial history).
+    /// Write statements in commit order (the serial history). Spans the
+    /// engine's whole lifetime — checkpoints rotate the on-disk WAL but
+    /// never this log, so replay-determinism tests keep working.
     write_log: Vec<String>,
+    /// Durable storage, when the engine was opened with a data dir.
+    storage: Option<Storage>,
+}
+
+/// Configuration for [`Engine::with_storage`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// The data directory (created if missing).
+    pub data_dir: PathBuf,
+    /// WAL fsync discipline.
+    pub fsync: FsyncMode,
+    /// Auto-checkpoint threshold in WAL payload bytes (`None` = only
+    /// explicit `CHECKPOINT` statements rotate the log).
+    pub checkpoint_bytes: Option<u64>,
+}
+
+/// A read guard over the committed write history — borrow, don't clone.
+/// Derefs to `[String]`; holding it blocks writers, so keep it short.
+pub struct WriteLogGuard<'a>(RwLockReadGuard<'a, EngineState>);
+
+impl Deref for WriteLogGuard<'_> {
+    type Target = [String];
+
+    fn deref(&self) -> &[String] {
+        &self.0.write_log
+    }
 }
 
 /// The concurrent engine shared by all server workers.
@@ -60,6 +96,7 @@ impl Engine {
                 session: Session::new(),
                 cache: HashMap::new(),
                 write_log: Vec::new(),
+                storage: None,
             }),
             metrics,
             opts: SearchOptions {
@@ -67,6 +104,61 @@ impl Engine {
                 ..SearchOptions::default()
             },
         }
+    }
+
+    /// A durable engine: opens (or creates) `config.data_dir`, recovers
+    /// table state from the latest snapshot plus the WAL tail, and appends
+    /// every subsequent committed write to the WAL before acknowledging.
+    ///
+    /// Recovery replays the recovered statements through a fresh session —
+    /// the same path the determinism tests use — so the post-recovery
+    /// state is byte-identical to replaying the surviving write-log prefix.
+    /// The recovered statements also seed [`Engine::write_log`], keeping
+    /// the replay invariant intact across restarts. Prepared indexes are
+    /// not persisted; they rebuild lazily on first IMPROVE.
+    pub fn with_storage(
+        metrics: Arc<Metrics>,
+        exec: ExecPolicy,
+        config: DurabilityConfig,
+    ) -> Result<(Self, Recovery), DbError> {
+        let (storage, recovery) = Storage::open(
+            &config.data_dir,
+            StorageConfig {
+                fsync: config.fsync,
+                checkpoint_bytes: config.checkpoint_bytes,
+            },
+        )
+        .map_err(storage_err)?;
+        let mut session = Session::new();
+        for (i, sql) in recovery.statements.iter().enumerate() {
+            session.execute(sql).map_err(|e| {
+                DbError::Storage(format!(
+                    "recovery replay failed at statement {} of {}: {e}",
+                    i + 1,
+                    recovery.statements.len()
+                ))
+            })?;
+        }
+        metrics
+            .recovered_statements
+            .store(recovery.statements.len() as u64, Ordering::Relaxed);
+        metrics
+            .recovery_truncated_bytes
+            .store(recovery.truncated_bytes, Ordering::Relaxed);
+        let engine = Engine {
+            state: RwLock::new(EngineState {
+                session,
+                cache: HashMap::new(),
+                write_log: recovery.statements.clone(),
+                storage: Some(storage),
+            }),
+            metrics,
+            opts: SearchOptions {
+                exec,
+                ..SearchOptions::default()
+            },
+        };
+        Ok((engine, recovery))
     }
 
     /// The metrics registry.
@@ -92,6 +184,9 @@ impl Engine {
         let stmt = parse(sql)?;
         match &stmt {
             Statement::ShowStats => Ok(Outcome::Rows(self.metrics.stats_result())),
+            // SHOW WAL is read-only but answered from the storage handle,
+            // which a plain Session doesn't have — intercept it here.
+            Statement::ShowWal => Ok(Outcome::Rows(self.show_wal())),
             Statement::Shutdown => Err(DbError::Unsupported(
                 "SHUTDOWN must be sent over a server connection".into(),
             )),
@@ -104,6 +199,45 @@ impl Engine {
         }
     }
 
+    /// The `SHOW WAL` result: storage-layer counters as `(metric, value)`
+    /// rows. Works without `--data-dir` too (`wal_enabled` = 0) so probes
+    /// don't have to know how the server was started.
+    fn show_wal(&self) -> QueryResult {
+        let st = self.state.read().unwrap();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut push = |name: &str, v: Value| rows.push(vec![Value::Text(name.into()), v]);
+        match st.storage.as_ref() {
+            Some(storage) => {
+                let s = storage.stats();
+                push("wal_enabled", Value::Int(1));
+                push("fsync_mode", Value::Text(storage.fsync_mode().name()));
+                push("wal_generation", Value::Int(s.generation as i64));
+                push("wal_entries", Value::Int(s.wal_entries as i64));
+                push("wal_bytes", Value::Int(s.wal_bytes as i64));
+                push("wal_appends", Value::Int(s.wal_appends as i64));
+                push("wal_fsyncs", Value::Int(s.wal_fsyncs as i64));
+                push("checkpoints", Value::Int(s.checkpoints as i64));
+            }
+            None => push("wal_enabled", Value::Int(0)),
+        }
+        push(
+            "recovered_statements",
+            Value::Int(self.metrics.recovered_statements.load(Ordering::Relaxed) as i64),
+        );
+        push(
+            "recovery_truncated_bytes",
+            Value::Int(
+                self.metrics
+                    .recovery_truncated_bytes
+                    .load(Ordering::Relaxed) as i64,
+            ),
+        );
+        QueryResult {
+            columns: vec!["metric".into(), "value".into()],
+            rows,
+        }
+    }
+
     /// Classifies one SQL line without executing it.
     pub fn classify(sql: &str) -> StatementKind {
         match parse(sql) {
@@ -112,9 +246,11 @@ impl Engine {
         }
     }
 
-    /// The committed write history, in commit order.
-    pub fn write_log(&self) -> Vec<String> {
-        self.state.read().unwrap().write_log.clone()
+    /// The committed write history, in commit order, borrowed behind the
+    /// state lock — no clone of the (possibly huge) log. Holding the
+    /// guard blocks writers; iterate and drop.
+    pub fn write_log(&self) -> WriteLogGuard<'_> {
+        WriteLogGuard(self.state.read().unwrap())
     }
 
     /// Renders every table as aligned text, in name order — a cheap state
@@ -194,6 +330,22 @@ impl Engine {
         let mut st = self.state.write().unwrap();
         let st = &mut *st;
 
+        // CHECKPOINT is a storage operation, not a table write: snapshot
+        // the current state and rotate the WAL. It is neither WAL-logged
+        // nor write-logged — it changes no rows.
+        if matches!(stmt, Statement::Checkpoint) {
+            if st.storage.is_none() {
+                return Err(DbError::Unsupported(
+                    "CHECKPOINT requires a server started with --data-dir".into(),
+                ));
+            }
+            let info = self.checkpoint_locked(st)?;
+            return Ok(Outcome::Checkpointed {
+                generation: info.generation,
+                wal_truncated: info.wal_records_truncated,
+            });
+        }
+
         // IMPROVE … APPLY reuses the cache for the search, then applies
         // deltas and invalidates entries that index the mutated table.
         if let Statement::Improve(imp) = &stmt {
@@ -211,7 +363,7 @@ impl Engine {
             let objects_mut = st.session.table_mut(&imp.table).expect("checked above");
             iqext::apply_deltas(objects_mut, &deltas)?;
             invalidate_touching(&mut st.cache, &self.metrics, &imp.table);
-            st.write_log.push(sql.to_string());
+            self.commit(st, sql)?;
             return Ok(Outcome::Rows(result));
         }
 
@@ -228,8 +380,47 @@ impl Engine {
                 None => invalidate_touching(&mut st.cache, &self.metrics, &table),
             }
         }
-        st.write_log.push(sql.to_string());
+        self.commit(st, sql)?;
         Ok(outcome)
+    }
+
+    /// Commits an executed write: WAL append first (consuming `sql` by
+    /// reference — no clone until the in-memory log needs one), then the
+    /// in-memory log, then a size-triggered auto-checkpoint.
+    ///
+    /// Error policy: the statement already executed, so a WAL append
+    /// failure leaves memory ahead of disk. The error is surfaced to the
+    /// client (the write may not survive a crash) rather than unwinding
+    /// the applied state — same contract as a lost unsynced tail under
+    /// `--fsync never`, but loud. Auto-checkpoint failures are swallowed:
+    /// the write itself is durable and the next write retries the rotation.
+    fn commit(&self, st: &mut EngineState, sql: &str) -> Result<(), DbError> {
+        if let Some(storage) = st.storage.as_mut() {
+            let synced = storage.append(sql).map_err(storage_err)?;
+            self.metrics.wal_appends.fetch_add(1, Ordering::Relaxed);
+            if synced {
+                self.metrics.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        st.write_log.push(sql.to_string());
+        if st.storage.as_ref().is_some_and(Storage::should_checkpoint) {
+            let _ = self.checkpoint_locked(st);
+        }
+        Ok(())
+    }
+
+    /// Takes a checkpoint under the already-held write lock: serialize
+    /// table state through the shared `render` encoder, hand it to the
+    /// storage layer, count the event.
+    fn checkpoint_locked(
+        &self,
+        st: &mut EngineState,
+    ) -> Result<iq_storage::CheckpointInfo, DbError> {
+        let statements = iq_dbms::snapshot_sql(&st.session, SNAPSHOT_ROWS_PER_INSERT);
+        let storage = st.storage.as_mut().expect("caller checked storage");
+        let info = storage.checkpoint(&statements).map_err(storage_err)?;
+        self.metrics.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(info)
     }
 
     /// Feeds freshly inserted rows through the incremental update path for
@@ -271,6 +462,12 @@ impl Engine {
             }
         }
     }
+}
+
+/// Maps a storage-layer error into the DBMS error space (wire kind
+/// `storage`).
+fn storage_err(e: iq_storage::StorageError) -> DbError {
+    DbError::Storage(e.to_string())
 }
 
 /// The cache key for an IMPROVE statement.
@@ -408,8 +605,8 @@ mod tests {
         assert_eq!(e.metrics().cache_hits.load(Ordering::Relaxed), 1);
         // A fresh session (no cache at all) agrees byte for byte.
         let mut s = Session::new();
-        for sql in e.write_log() {
-            s.execute(&sql).unwrap();
+        for sql in e.write_log().iter() {
+            s.execute(sql).unwrap();
         }
         let fresh = outcome_json(&s.execute(IMPROVE).unwrap());
         assert_eq!(first, fresh);
@@ -433,8 +630,8 @@ mod tests {
             "still cached"
         );
         let fresh_engine = Engine::new(Arc::new(Metrics::new()), ExecPolicy::sequential());
-        for sql in e.write_log() {
-            fresh_engine.execute_sql(&sql).unwrap();
+        for sql in e.write_log().iter() {
+            fresh_engine.execute_sql(sql).unwrap();
         }
         assert_eq!(cached, fresh_engine.execute_line(IMPROVE));
     }
@@ -456,8 +653,8 @@ mod tests {
         // Different data ⇒ possibly different answer; both must equal a
         // from-scratch replay at their point in history.
         let replay = Engine::new(Arc::new(Metrics::new()), ExecPolicy::sequential());
-        for sql in e.write_log() {
-            replay.execute_sql(&sql).unwrap();
+        for sql in e.write_log().iter() {
+            replay.execute_sql(sql).unwrap();
         }
         assert_eq!(rebuilt, replay.execute_line(IMPROVE));
         drop(cached);
@@ -487,6 +684,42 @@ mod tests {
             e.execute_sql("SHUTDOWN"),
             Err(DbError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn checkpoint_without_data_dir_is_unsupported() {
+        let e = engine();
+        assert!(matches!(
+            e.execute_sql("CHECKPOINT"),
+            Err(DbError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn show_wal_reports_disabled_without_data_dir() {
+        let e = engine();
+        match e.execute_sql("SHOW WAL").unwrap() {
+            Outcome::Rows(r) => {
+                assert_eq!(r.columns, vec!["metric", "value"]);
+                assert_eq!(
+                    r.rows[0],
+                    vec![Value::Text("wal_enabled".into()), Value::Int(0)]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_log_guard_derefs_without_cloning() {
+        let e = engine();
+        assert_eq!(e.write_log().len(), 4);
+        let first = e.write_log().first().cloned().unwrap();
+        assert!(first.starts_with("CREATE TABLE objects"));
+        // Two overlapping read guards coexist (shared mode).
+        let g1 = e.write_log();
+        let g2 = e.write_log();
+        assert_eq!(g1.len(), g2.len());
     }
 
     #[test]

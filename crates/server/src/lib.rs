@@ -32,6 +32,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::Client;
-pub use engine::Engine;
+pub use engine::{DurabilityConfig, Engine, WriteLogGuard};
+pub use iq_storage::{FsyncMode, Recovery};
 pub use metrics::{Metrics, StatementKind};
 pub use server::{start, ServerConfig, ServerHandle};

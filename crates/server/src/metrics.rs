@@ -44,12 +44,16 @@ pub enum StatementKind {
     ShowStats,
     /// SHUTDOWN.
     Shutdown,
+    /// CHECKPOINT.
+    Checkpoint,
+    /// SHOW WAL.
+    ShowWal,
     /// A line that failed to parse (no statement to classify).
     Invalid,
 }
 
 /// All kinds, in the fixed order used for storage and reporting.
-pub const ALL_KINDS: [StatementKind; 13] = [
+pub const ALL_KINDS: [StatementKind; 15] = [
     StatementKind::Create,
     StatementKind::Insert,
     StatementKind::Select,
@@ -62,6 +66,8 @@ pub const ALL_KINDS: [StatementKind; 13] = [
     StatementKind::ShowTables,
     StatementKind::ShowStats,
     StatementKind::Shutdown,
+    StatementKind::Checkpoint,
+    StatementKind::ShowWal,
     StatementKind::Invalid,
 ];
 
@@ -81,6 +87,8 @@ impl StatementKind {
             Statement::ShowTables => StatementKind::ShowTables,
             Statement::ShowStats => StatementKind::ShowStats,
             Statement::Shutdown => StatementKind::Shutdown,
+            Statement::Checkpoint => StatementKind::Checkpoint,
+            Statement::ShowWal => StatementKind::ShowWal,
         }
     }
 
@@ -99,6 +107,8 @@ impl StatementKind {
             StatementKind::ShowTables => "show_tables",
             StatementKind::ShowStats => "show_stats",
             StatementKind::Shutdown => "shutdown",
+            StatementKind::Checkpoint => "checkpoint",
+            StatementKind::ShowWal => "show_wal",
             StatementKind::Invalid => "invalid",
         }
     }
@@ -187,6 +197,16 @@ pub struct Metrics {
     /// Times a write unsealed a sealed query index (it is re-sealed
     /// immediately; this counts the events, per the seal-state guard).
     pub index_unseals: AtomicU64,
+    /// WAL records appended (durable commit path; 0 without `--data-dir`).
+    pub wal_appends: AtomicU64,
+    /// Fsyncs issued by the WAL (group commit makes this ≤ appends).
+    pub wal_fsyncs: AtomicU64,
+    /// Checkpoints taken (explicit `CHECKPOINT` plus auto-checkpoints).
+    pub checkpoints: AtomicU64,
+    /// Statements replayed during startup recovery (snapshot + WAL tail).
+    pub recovered_statements: AtomicU64,
+    /// Bytes truncated from a torn WAL tail during recovery.
+    pub recovery_truncated_bytes: AtomicU64,
 }
 
 impl Metrics {
@@ -278,6 +298,23 @@ impl Metrics {
         push(
             "index_unseals".into(),
             self.index_unseals.load(Ordering::Relaxed),
+        );
+        push(
+            "wal_appends".into(),
+            self.wal_appends.load(Ordering::Relaxed),
+        );
+        push("wal_fsyncs".into(), self.wal_fsyncs.load(Ordering::Relaxed));
+        push(
+            "checkpoints".into(),
+            self.checkpoints.load(Ordering::Relaxed),
+        );
+        push(
+            "recovered_statements".into(),
+            self.recovered_statements.load(Ordering::Relaxed),
+        );
+        push(
+            "recovery_truncated_bytes".into(),
+            self.recovery_truncated_bytes.load(Ordering::Relaxed),
         );
         QueryResult {
             columns: vec!["metric".into(), "value".into()],

@@ -141,14 +141,15 @@ fn interleaved_writes_serialize_to_the_write_log_order() {
     // sequential session must reproduce the engine's exact table state.
     let engine = Arc::clone(handle.engine());
     let mut replay = iq_dbms::Session::new();
-    let log = engine.write_log();
-    assert!(log.len() >= seed.len(), "seed writes are in the log");
-    for sql in &log {
-        replay.execute(sql).unwrap();
-    }
     let replay_engine = Engine::new(Arc::new(Metrics::new()), ExecPolicy::sequential());
-    for sql in &log {
-        replay_engine.execute_sql(sql).unwrap();
+    {
+        // Borrowed guard, not a clone; dropped before dump_tables below.
+        let log = engine.write_log();
+        assert!(log.len() >= seed.len(), "seed writes are in the log");
+        for sql in log.iter() {
+            replay.execute(sql).unwrap();
+            replay_engine.execute_sql(sql).unwrap();
+        }
     }
     assert_eq!(
         engine.dump_tables(),
@@ -210,8 +211,8 @@ proptest! {
 
         let engine = Arc::clone(handle.engine());
         let replay = Engine::new(Arc::new(Metrics::new()), ExecPolicy::sequential());
-        for sql in engine.write_log() {
-            replay.execute_sql(&sql).unwrap();
+        for sql in engine.write_log().iter() {
+            replay.execute_sql(sql).unwrap();
         }
         prop_assert_eq!(engine.dump_tables(), replay.dump_tables());
 

@@ -1,0 +1,69 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), table-driven.
+//!
+//! The repo's offline-dependency policy (DESIGN.md §10) rules out
+//! `crc32fast`; this is the textbook byte-at-a-time implementation with a
+//! lazily built 256-entry table. Throughput is irrelevant here — WAL
+//! records are short SQL strings and the fsync dominates the commit path
+//! by orders of magnitude.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 of `data` — matches the ubiquitous zlib/`crc32fast` value,
+/// so checksums stay comparable if the implementation is ever swapped.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"INSERT INTO t VALUES (1)");
+        let mut tampered = b"INSERT INTO t VALUES (1)".to_vec();
+        for byte in 0..tampered.len() {
+            for bit in 0..8 {
+                tampered[byte] ^= 1 << bit;
+                assert_ne!(crc32(&tampered), base, "flip at {byte}:{bit} undetected");
+                tampered[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Checkpoint snapshots: the engine's table state serialized as SQL
+//! statements, written atomically.
+//!
+//! A snapshot reuses the WAL record framing (`[len][crc][payload]`) under
+//! its own magic, with one extra leading record — a header naming the
+//! statement count — so a torn or partial snapshot is *detectably*
+//! incomplete rather than silently short. Unlike the WAL, a snapshot is
+//! all-or-nothing: any damage invalidates the whole file and recovery
+//! falls back to an older generation (or the bare WAL).
+//!
+//! Atomicity: the snapshot is written to `<path>.tmp`, fsynced, renamed
+//! over the final path, and the directory is fsynced — a crash at any
+//! point leaves either no snapshot at this generation or a complete one.
+
+use crate::wal::{decode_record, encode_record, Decoded};
+use crate::StorageError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The 8-byte snapshot file magic.
+pub const MAGIC: &[u8; 8] = b"IQSNAP1\n";
+
+fn invalid(path: &Path, reason: impl Into<String>) -> StorageError {
+    StorageError::SnapshotInvalid {
+        path: path.to_path_buf(),
+        reason: reason.into(),
+    }
+}
+
+/// Writes `statements` atomically to `path` (tmp + rename + dir fsync).
+pub fn write_snapshot(path: &Path, statements: &[String]) -> Result<(), StorageError> {
+    let tmp = path.with_extension("tmp");
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    encode_record(format!("count={}", statements.len()).as_bytes(), &mut buf);
+    for s in statements {
+        encode_record(s.as_bytes(), &mut buf);
+    }
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| StorageError::io(format!("create snapshot tmp `{}`", tmp.display()), e))?;
+    file.write_all(&buf)
+        .and_then(|()| file.sync_all())
+        .map_err(|e| StorageError::io(format!("write snapshot `{}`", tmp.display()), e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| {
+        StorageError::io(
+            format!(
+                "rename snapshot `{}` -> `{}`",
+                tmp.display(),
+                path.display()
+            ),
+            e,
+        )
+    })?;
+    sync_dir(path.parent().unwrap_or_else(|| Path::new(".")))?;
+    Ok(())
+}
+
+/// Loads a snapshot strictly: any framing damage, count mismatch, or
+/// non-UTF-8 payload invalidates the file.
+pub fn load_snapshot(path: &Path) -> Result<Vec<String>, StorageError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| StorageError::io(format!("read snapshot `{}`", path.display()), e))?;
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(invalid(path, "bad or truncated magic"));
+    }
+    let mut offset = MAGIC.len();
+    let mut records: Vec<String> = Vec::new();
+    loop {
+        match decode_record(&bytes, offset) {
+            Decoded::End => break,
+            Decoded::Record { payload, next } => {
+                let s = std::str::from_utf8(payload)
+                    .map_err(|_| invalid(path, format!("non-UTF-8 record at byte {offset}")))?;
+                records.push(s.to_string());
+                offset = next;
+            }
+            Decoded::Damaged(d) => return Err(invalid(path, format!("{d} at byte {offset}"))),
+        }
+    }
+    let header = records
+        .first()
+        .ok_or_else(|| invalid(path, "missing count header"))?;
+    let count: usize = header
+        .strip_prefix("count=")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| invalid(path, format!("malformed count header `{header}`")))?;
+    if records.len() - 1 != count {
+        return Err(invalid(
+            path,
+            format!(
+                "statement count mismatch: header says {count}, file has {}",
+                records.len() - 1
+            ),
+        ));
+    }
+    records.remove(0);
+    Ok(records)
+}
+
+/// Fsyncs a directory so a just-renamed/created entry is durable.
+pub fn sync_dir(dir: &Path) -> Result<(), StorageError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| StorageError::io(format!("sync dir `{}`", dir.display()), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("iq_snap_unit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let path = tmp("rt.iqsnap");
+        let stmts = vec![
+            "CREATE TABLE t (a INT, b FLOAT)".to_string(),
+            "INSERT INTO t VALUES (1, 2.5), (2, 3.5)".to_string(),
+        ];
+        write_snapshot(&path, &stmts).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap(), stmts);
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp cleaned by rename"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let path = tmp("empty.iqsnap");
+        write_snapshot(&path, &[]).unwrap();
+        assert!(load_snapshot(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_snapshot_is_invalid() {
+        let path = tmp("trunc.iqsnap");
+        write_snapshot(&path, &["CREATE TABLE t (a INT)".to_string()]).unwrap();
+        let full = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 2).unwrap();
+        drop(f);
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(StorageError::SnapshotInvalid { .. })
+        ));
+    }
+
+    #[test]
+    fn count_mismatch_is_invalid() {
+        let path = tmp("count.iqsnap");
+        // Hand-build a snapshot whose header over-promises.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        encode_record(b"count=2", &mut buf);
+        encode_record(b"CREATE TABLE t (a INT)", &mut buf);
+        std::fs::write(&path, &buf).unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        assert!(err.to_string().contains("count mismatch"), "{err}");
+    }
+
+    #[test]
+    fn bit_flip_is_invalid() {
+        let path = tmp("flip.iqsnap");
+        write_snapshot(&path, &["INSERT INTO t VALUES (42)".to_string()]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - 4;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(StorageError::SnapshotInvalid { .. })
+        ));
+    }
+}
