@@ -1,0 +1,100 @@
+//! Committed panic-budget baseline (`crates/analysis/lint-baseline.txt`).
+//!
+//! Format: one entry per line, `<rule> <workspace-relative-path> <count>`,
+//! `#` comments and blank lines ignored. The counts freeze existing debt:
+//! a file exceeding its budget is a deny finding, a file under budget is a
+//! warn asking for the baseline to be tightened (`--write-baseline`).
+
+use std::collections::BTreeMap;
+
+/// Parsed baseline: `(rule, path) -> allowed count`.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses the baseline file text. Returns an error message naming the
+    /// offending line on malformed input.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (rule, path, count) = match (parts.next(), parts.next(), parts.next(), parts.next())
+            {
+                (Some(r), Some(p), Some(c), None) => (r, p, c),
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected `<rule> <path> <count>`",
+                        i + 1
+                    ))
+                }
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+            entries.insert((rule.to_string(), path.to_string()), count);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Budget for a (rule, path), if the file has a baseline entry.
+    pub fn budget(&self, rule: &str, path: &str) -> Option<usize> {
+        self.entries
+            .get(&(rule.to_string(), path.to_string()))
+            .copied()
+    }
+
+    /// Renders a baseline from measured counts, in deterministic order.
+    pub fn format(counts: &BTreeMap<(String, String), usize>) -> String {
+        let mut out = String::from(
+            "# iq-lint panic budgets: frozen debt per hot-path file.\n\
+             # Regenerate with `cargo run -p iq-analysis --bin iq-lint -- --write-baseline`\n\
+             # only after reviewing why the count moved (DESIGN.md §13).\n",
+        );
+        for ((rule, path), count) in counts {
+            out.push_str(&format!("{rule} {path} {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# comment\n\npanic-in-hot-path crates/server/src/engine.rs 12\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(
+            b.budget("panic-in-hot-path", "crates/server/src/engine.rs"),
+            Some(12)
+        );
+        assert_eq!(
+            b.budget("panic-in-hot-path", "crates/server/src/protocol.rs"),
+            None
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Baseline::parse("panic-in-hot-path only-two-fields\n").is_err());
+        assert!(Baseline::parse("panic-in-hot-path a.rs twelve\n").is_err());
+    }
+
+    #[test]
+    fn format_is_sorted() {
+        let mut counts = BTreeMap::new();
+        counts.insert(("r".to_string(), "b.rs".to_string()), 2);
+        counts.insert(("r".to_string(), "a.rs".to_string()), 1);
+        let text = Baseline::format(&counts);
+        let a = text.find("r a.rs 1").unwrap();
+        let b = text.find("r b.rs 2").unwrap();
+        assert!(a < b);
+    }
+}

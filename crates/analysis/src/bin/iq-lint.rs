@@ -1,0 +1,116 @@
+//! `iq-lint` CLI. Exit code 0 = clean, 1 = deny findings, 2 = usage or
+//! I/O error. See DESIGN.md §13 for the rule catalog.
+
+use iq_analysis::baseline::Baseline;
+use iq_analysis::{lint_workspace, measure_baseline, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+iq-lint: determinism-hygiene analyzer for the IQ workspace
+
+USAGE:
+    iq-lint [--root DIR] [--baseline FILE] [--deny-all] [--json]
+    iq-lint [--root DIR] --write-baseline
+
+OPTIONS:
+    --root DIR         Workspace root (default: auto-detect from cwd)
+    --baseline FILE    Panic-budget file (default: crates/analysis/lint-baseline.txt)
+    --deny-all         Promote every warn to deny (CI mode)
+    --json             Machine-readable report on stdout
+    --write-baseline   Re-measure panic budgets and rewrite the baseline file
+    --help             Show this help
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut deny_all = false;
+    let mut json = false;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--baseline" => baseline_path = args.next().map(PathBuf::from),
+            "--deny-all" => deny_all = true,
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("iq-lint: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "iq-lint: cannot find workspace root (no Cargo.toml with [workspace]); pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path =
+        baseline_path.unwrap_or_else(|| root.join("crates/analysis/lint-baseline.txt"));
+
+    if write_baseline {
+        let counts = measure_baseline(&root);
+        let text = Baseline::format(&counts);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("iq-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        print!("{text}");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("iq-lint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("iq-lint: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = lint_workspace(&root, &baseline, &Options { deny_all });
+    if json {
+        print!("{}", report.json());
+    } else {
+        print!("{}", report.text());
+    }
+    if report.has_denials() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the cwd to the first directory whose Cargo.toml declares a
+/// `[workspace]`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

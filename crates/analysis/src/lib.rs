@@ -1,0 +1,124 @@
+//! `iq-lint`: a std-only determinism-hygiene analyzer for this workspace.
+//!
+//! The engine's correctness story is a set of *byte-identity* invariants
+//! (CLAUDE.md): identical results under any thread count, identical serving
+//! answers, identical recovery states. Those invariants are easy to break
+//! silently — one `HashMap` iteration whose order escapes, one
+//! `partial_cmp().unwrap()` that bypasses `rank_cmp`, one wall-clock read in
+//! an algorithmic crate. `iq-lint` scans the workspace sources for exactly
+//! those patterns. Rule catalog, allow-comment grammar, and the baseline
+//! file format are documented in DESIGN.md §13.
+//!
+//! The crate is deliberately dependency-free (the offline `crates/compat`
+//! constraint rules out syn/clippy plugins): [`scanner`] is a line/token
+//! lexer that strips comments and blanks string/char literal contents while
+//! tracking `#[cfg(test)]` regions and enclosing fn names, and [`rules`]
+//! pattern-matches on the stripped code.
+
+pub mod baseline;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+
+use baseline::Baseline;
+use report::Report;
+use rules::{lint_file, Finding, Level};
+use scanner::{crate_of, SourceFile};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Lint configuration.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Promote every warn finding to deny.
+    pub deny_all: bool,
+}
+
+/// Lints every workspace source file under `root`. Walks `crates/*/src`
+/// (skipping the offline `compat` vendor tree and the analyzer's own lint
+/// fixtures) plus a root-level `src/` if present; integration `tests/`,
+/// `benches/`, and `examples/` trees are out of scope by construction.
+pub fn lint_workspace(root: &Path, baseline: &Baseline, options: &Options) -> Report {
+    let mut findings: Vec<Finding> = Vec::new();
+    let files = workspace_sources(root);
+    for path in &files {
+        let rel = rel_path(root, path);
+        match fs::read_to_string(path) {
+            Ok(text) => {
+                let file = SourceFile::scan(&rel, crate_of(&rel), &text);
+                findings.extend(lint_file(&file, baseline, options.deny_all));
+            }
+            Err(e) => findings.push(Finding {
+                rule: "unused-allow",
+                level: Level::Deny,
+                path: rel,
+                line: 0,
+                message: format!("unreadable source file: {e}"),
+            }),
+        }
+    }
+    Report::new(findings, files.len())
+}
+
+/// Measures current panic-site counts per hot-path file, for
+/// `--write-baseline`. Counts ignore `#[cfg(test)]` regions and honor
+/// allow comments, mirroring the budget check.
+pub fn measure_baseline(root: &Path) -> BTreeMap<(String, String), usize> {
+    let empty = Baseline::default();
+    let mut counts = BTreeMap::new();
+    for rel in rules::HOT_PATH_FILES {
+        let path = root.join(rel);
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let file = SourceFile::scan(rel, crate_of(rel), &text);
+        let count = rules::count_panic_sites(&file, &empty);
+        counts.insert(("panic-in-hot-path".to_string(), rel.to_string()), count);
+    }
+    counts
+}
+
+/// All lintable `.rs` files, sorted for deterministic reports.
+fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            if dir.file_name().is_some_and(|n| n == "compat") {
+                continue;
+            }
+            collect_rs(&dir.join("src"), &mut out);
+        }
+    }
+    collect_rs(&root.join("src"), &mut out);
+    out.retain(|p| !p.components().any(|c| c.as_os_str() == "fixtures"));
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

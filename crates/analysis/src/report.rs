@@ -1,0 +1,148 @@
+//! Report rendering: human text and a hand-rolled JSON mode for CI
+//! (std-only crate, so no serde — the escaper below covers the rule
+//! messages we emit).
+
+use crate::rules::{Finding, Level};
+
+/// Summary of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Builds a report with deterministic ordering.
+    pub fn new(mut findings: Vec<Finding>, files_scanned: usize) -> Report {
+        findings.sort_by(|a, b| {
+            a.path
+                .cmp(&b.path)
+                .then(a.line.cmp(&b.line))
+                .then(a.rule.cmp(b.rule))
+        });
+        Report {
+            findings,
+            files_scanned,
+        }
+    }
+
+    /// True if any finding denies (exit code 1).
+    pub fn has_denials(&self) -> bool {
+        self.findings.iter().any(|f| f.level == Level::Deny)
+    }
+
+    /// Human-readable text report.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}: [{}] {}:{}: {}\n",
+                f.level.name(),
+                f.rule,
+                f.path,
+                f.line,
+                f.message
+            ));
+        }
+        let denies = self
+            .findings
+            .iter()
+            .filter(|f| f.level == Level::Deny)
+            .count();
+        let warns = self.findings.len() - denies;
+        out.push_str(&format!(
+            "iq-lint: {} files scanned, {denies} denied, {warns} warned\n",
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// JSON report for CI: `{"files_scanned":N,"denies":N,"warns":N,"findings":[…]}`.
+    pub fn json(&self) -> String {
+        let denies = self
+            .findings
+            .iter()
+            .filter(|f| f.level == Level::Deny)
+            .count();
+        let mut out = format!(
+            "{{\"files_scanned\":{},\"denies\":{},\"warns\":{},\"findings\":[",
+            self.files_scanned,
+            denies,
+            self.findings.len() - denies
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"level\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+                json_str(f.rule),
+                json_str(f.level.name()),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaper (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: usize, level: Level) -> Finding {
+        Finding {
+            rule: "hash-iter-order",
+            level,
+            path: path.to_string(),
+            line,
+            message: "msg with \"quotes\"\nand newline".to_string(),
+        }
+    }
+
+    #[test]
+    fn ordering_and_exit_state() {
+        let r = Report::new(
+            vec![
+                finding("b.rs", 1, Level::Warn),
+                finding("a.rs", 9, Level::Deny),
+            ],
+            4,
+        );
+        assert_eq!(r.findings[0].path, "a.rs");
+        assert!(r.has_denials());
+        assert!(r.text().contains("4 files scanned, 1 denied, 1 warned"));
+    }
+
+    #[test]
+    fn json_escapes() {
+        let r = Report::new(vec![finding("a.rs", 1, Level::Deny)], 1);
+        let j = r.json();
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"denies\":1"));
+    }
+}

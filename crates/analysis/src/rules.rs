@@ -1,0 +1,623 @@
+//! The five determinism-hygiene rules, plus the allow-comment meta rules.
+//!
+//! Each rule carries a default level (deny/warn) and a crate scope. The
+//! catalog, the allow-comment grammar, and the baseline-file format are
+//! documented in DESIGN.md §13.
+
+use crate::baseline::Baseline;
+use crate::scanner::{Line, SourceFile};
+use std::collections::BTreeSet;
+
+/// Finding severity. `--deny-all` promotes every warn to deny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Report only; does not fail the run by default.
+    Warn,
+    /// Fails the run.
+    Deny,
+}
+
+impl Level {
+    /// Lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule name (kebab-case).
+    pub rule: &'static str,
+    /// Severity after any `--deny-all` promotion.
+    pub level: Level,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Crates on the deterministic path: everything that feeds byte-identity
+/// invariants (CLAUDE.md). `HashMap`/`HashSet` iteration order must never
+/// escape from these.
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["core", "topk", "index", "geometry", "solver", "storage"];
+
+/// Crates where raw float comparisons are policed (the deterministic set
+/// plus `expr`, whose generic-function linearization feeds scoring).
+pub const SCORE_CRATES: &[&str] = &[
+    "core", "topk", "index", "geometry", "solver", "storage", "expr",
+];
+
+/// Crates allowed to read the wall clock (serving deadlines, benchmarks).
+pub const WALLCLOCK_CRATES: &[&str] = &["server", "bench"];
+
+/// Files with a frozen panic budget (server/storage write paths).
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/server/src/engine.rs",
+    "crates/server/src/protocol.rs",
+    "crates/storage/src/wal.rs",
+];
+
+/// All rule names, for allow-comment validation.
+pub const RULE_NAMES: &[&str] = &[
+    "hash-iter-order",
+    "raw-score-cmp",
+    "undocumented-unsafe",
+    "wallclock-in-core",
+    "panic-in-hot-path",
+];
+
+/// Default level of a rule.
+pub fn default_level(rule: &str) -> Level {
+    match rule {
+        // Pacing/telemetry reads are advisory by default (CI promotes them).
+        "wallclock-in-core" => Level::Warn,
+        "unused-allow" => Level::Warn,
+        "stale-baseline" => Level::Warn,
+        _ => Level::Deny,
+    }
+}
+
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!(", "unreachable!("];
+
+/// Lints one scanned file against every applicable rule, applying allow
+/// comments and the panic-budget baseline. `deny_all` promotes warns.
+pub fn lint_file(file: &SourceFile, baseline: &Baseline, deny_all: bool) -> Vec<Finding> {
+    let mut raw: Vec<Finding> = Vec::new();
+
+    if DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) {
+        hash_iter_order(file, &mut raw);
+    }
+    if SCORE_CRATES.contains(&file.crate_name.as_str()) {
+        raw_score_cmp(file, &mut raw);
+    }
+    undocumented_unsafe(file, &mut raw);
+    if !WALLCLOCK_CRATES.contains(&file.crate_name.as_str()) {
+        wallclock_in_core(file, &mut raw);
+    }
+    let hot_path = HOT_PATH_FILES.contains(&file.rel_path.as_str());
+    if hot_path {
+        panic_in_hot_path(file, &mut raw);
+    }
+
+    apply_allows(file, baseline, raw, hot_path, deny_all)
+}
+
+/// Suppression pass: allow comments knock out same-line findings of their
+/// rule; panic findings are folded into a per-file budget vs the baseline.
+fn apply_allows(
+    file: &SourceFile,
+    baseline: &Baseline,
+    raw: Vec<Finding>,
+    hot_path: bool,
+    deny_all: bool,
+) -> Vec<Finding> {
+    let mut used: Vec<bool> = vec![false; file.allows.len()];
+    let mut out: Vec<Finding> = Vec::new();
+    let mut panic_sites: Vec<usize> = Vec::new();
+
+    for f in raw {
+        let allow = file
+            .allows
+            .iter()
+            .position(|a| a.rule == f.rule && a.target == f.line);
+        if let Some(i) = allow {
+            used[i] = true;
+            continue;
+        }
+        if f.rule == "panic-in-hot-path" {
+            panic_sites.push(f.line);
+            continue;
+        }
+        out.push(f);
+    }
+
+    if hot_path {
+        let budget = baseline.budget("panic-in-hot-path", &file.rel_path);
+        let count = panic_sites.len();
+        match budget {
+            Some(allowed) if count > allowed => out.push(Finding {
+                rule: "panic-in-hot-path",
+                level: Level::Deny,
+                path: file.rel_path.clone(),
+                line: panic_sites.get(allowed).copied().unwrap_or(1),
+                message: format!(
+                    "{count} panic sites (unwrap/expect/panic!) exceed the frozen \
+                     baseline of {allowed}; handle the error or move the budget in \
+                     crates/analysis/lint-baseline.txt with a reviewed reason"
+                ),
+            }),
+            Some(allowed) if count < allowed => out.push(Finding {
+                rule: "stale-baseline",
+                level: default_level("stale-baseline"),
+                path: file.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "panic budget is stale ({count} sites < baseline {allowed}); \
+                     tighten crates/analysis/lint-baseline.txt (iq-lint --write-baseline)"
+                ),
+            }),
+            Some(_) => {}
+            None => {
+                if count > 0 {
+                    out.push(Finding {
+                        rule: "panic-in-hot-path",
+                        level: Level::Deny,
+                        path: file.rel_path.clone(),
+                        line: panic_sites[0],
+                        message: format!(
+                            "{count} panic sites but no baseline entry for this file; \
+                             add one to crates/analysis/lint-baseline.txt"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Allow-comment hygiene: every allow needs a reason and must suppress
+    // something; unknown rule names are typos.
+    for (i, a) in file.allows.iter().enumerate() {
+        if !RULE_NAMES.contains(&a.rule.as_str()) {
+            out.push(Finding {
+                rule: "unused-allow",
+                level: Level::Deny,
+                path: file.rel_path.clone(),
+                line: a.line,
+                message: format!("allow names unknown rule `{}`", a.rule),
+            });
+            continue;
+        }
+        if a.reason.is_none() {
+            out.push(Finding {
+                rule: "allow-missing-reason",
+                level: Level::Deny,
+                path: file.rel_path.clone(),
+                line: a.line,
+                message: format!(
+                    "iq-lint: allow({}) requires a reason: \
+                     `iq-lint: allow({}, reason = \"...\")`",
+                    a.rule, a.rule
+                ),
+            });
+        }
+        if !used[i] {
+            out.push(Finding {
+                rule: "unused-allow",
+                level: default_level("unused-allow"),
+                path: file.rel_path.clone(),
+                line: a.line,
+                message: format!("allow({}) suppresses nothing on line {}", a.rule, a.target),
+            });
+        }
+    }
+
+    if deny_all {
+        for f in &mut out {
+            f.level = Level::Deny;
+        }
+    }
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: hash-iter-order
+// ---------------------------------------------------------------------------
+
+/// No `HashMap`/`HashSet` iteration in deterministic-path crates: iteration
+/// order is seeded per-instance, so any order that escapes (collected vecs,
+/// visit callbacks, drains) breaks byte-identity. Use `BTreeMap`/`BTreeSet`
+/// or sort before draining. Keyed lookups (`get`/`insert`/`contains`) are
+/// fine and are not flagged.
+fn hash_iter_order(file: &SourceFile, out: &mut Vec<Finding>) {
+    // Pass 1: identifiers declared with a hash-collection type.
+    let mut hash_idents: BTreeSet<String> = BTreeSet::new();
+    for line in &file.lines {
+        collect_hash_idents(&line.code, &mut hash_idents);
+    }
+    // Pass 2: iteration over those identifiers (or any inline hash expr).
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for ident in &hash_idents {
+            for pos in token_positions(&line.code, ident) {
+                let rest = &line.code[pos + ident.len()..];
+                if let Some(m) = leading_method(rest) {
+                    if HASH_ITER_METHODS.contains(&m) {
+                        out.push(finding(
+                            "hash-iter-order",
+                            file,
+                            idx,
+                            format!(
+                                "iteration over hash collection `{ident}` (`.{m}`): order is \
+                                 per-instance random; use BTreeMap/BTreeSet or sort first"
+                            ),
+                        ));
+                    }
+                }
+            }
+            if for_loop_over(&line.code, ident) {
+                out.push(finding(
+                    "hash-iter-order",
+                    file,
+                    idx,
+                    format!(
+                        "`for … in` over hash collection `{ident}`: order is per-instance \
+                         random; use BTreeMap/BTreeSet or sort first"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Declared-as-hash identifiers: `name: HashMap<…>` (fields, params, lets
+/// with annotations) and `let [mut] name = HashMap::…` / `HashSet::…`.
+fn collect_hash_idents(code: &str, out: &mut BTreeSet<String>) {
+    for ty in ["HashMap", "HashSet"] {
+        for pos in token_positions(code, ty) {
+            // `name : [std::collections::] Hash…`
+            let before = &code[..pos];
+            let before = before.trim_end();
+            let before = before
+                .strip_suffix("std::collections::")
+                .or_else(|| before.strip_suffix("collections::"))
+                .unwrap_or(before)
+                .trim_end();
+            // Reference annotations: `name: &Hash…`, `name: &mut Hash…`.
+            let before = before.strip_suffix("mut").unwrap_or(before).trim_end();
+            let before = before.strip_suffix('&').unwrap_or(before).trim_end();
+            if let Some(prefix) = before.strip_suffix(':') {
+                // Reject `::` paths — that's not a type annotation.
+                if !prefix.ends_with(':') {
+                    if let Some(name) = trailing_ident(prefix) {
+                        out.insert(name);
+                    }
+                    continue;
+                }
+            }
+            // `let [mut] name … = Hash…::` (binding without annotation).
+            if code[pos..].starts_with(&format!("{ty}::")) {
+                if let Some(eq) = before.strip_suffix('=') {
+                    if let Some(name) = trailing_ident(eq.trim_end()) {
+                        out.insert(name);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `for … in [&][mut ][self.]ident` detection.
+fn for_loop_over(code: &str, ident: &str) -> bool {
+    for pos in token_positions(code, "in") {
+        let before = &code[..pos];
+        if token_positions(before, "for").is_empty() {
+            continue;
+        }
+        let mut expr = code[pos + 2..].trim_start();
+        for prefix in ["&mut ", "&", "mut ", "self."] {
+            expr = expr.strip_prefix(prefix).unwrap_or(expr).trim_start();
+        }
+        if let Some(rest) = expr.strip_prefix(ident) {
+            let boundary = rest
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            // `map.keys()` after `in` is caught by the method check; here we
+            // only flag direct iteration (`&map`, `map`).
+            if boundary && !rest.trim_start().starts_with('.') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: raw-score-cmp
+// ---------------------------------------------------------------------------
+
+/// No raw float comparisons that bypass `iq_topk::naive::rank_cmp`: float
+/// `==`/`!=` against float literals, and `partial_cmp(…).unwrap()` (panics
+/// on NaN and invites non-total orders). `rank_cmp` itself and the
+/// tolerance-widened `*_tol` slab paths are exempt.
+fn raw_score_cmp(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || fn_exempt(line) {
+            continue;
+        }
+        // partial_cmp(..).unwrap(), possibly chained onto the next line.
+        for pos in token_positions(&line.code, "partial_cmp") {
+            let mut window = line.code[pos..].to_string();
+            for next in file.lines.iter().skip(idx + 1).take(2) {
+                let t = next.code.trim_start();
+                if t.starts_with('.') {
+                    window.push_str(t);
+                } else {
+                    break;
+                }
+            }
+            if window.contains(".unwrap()") {
+                out.push(finding(
+                    "raw-score-cmp",
+                    file,
+                    idx,
+                    "`partial_cmp(..).unwrap()` is not a total order (panics on NaN); \
+                     use `f64::total_cmp` or route through `iq_topk::naive::rank_cmp`"
+                        .to_string(),
+                ));
+            }
+        }
+        // Float-literal equality.
+        for op in ["==", "!="] {
+            let mut from = 0;
+            while let Some(rel) = line.code[from..].find(op) {
+                let pos = from + rel;
+                from = pos + op.len();
+                let before = line.code[..pos].trim_end();
+                let after = line.code[pos + op.len()..].trim_start();
+                // Skip `<=`, `>=`, `=>`, `===`-ish neighbours.
+                if before.ends_with(['<', '>', '=', '!']) || after.starts_with('=') {
+                    continue;
+                }
+                if is_float_literal(trailing_token(before))
+                    || is_float_literal(leading_token(after))
+                {
+                    out.push(finding(
+                        "raw-score-cmp",
+                        file,
+                        idx,
+                        format!(
+                            "float `{op}` comparison: exact float equality bypasses the \
+                             ranking convention; compare through `rank_cmp`, a `*_tol` \
+                             path, or annotate the exact-zero degeneracy test"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Exempt contexts for raw-score-cmp: `rank_cmp` and the tolerance-widened
+/// slab paths (`*_tol`).
+fn fn_exempt(line: &Line) -> bool {
+    line.fn_name
+        .as_deref()
+        .is_some_and(|f| f == "rank_cmp" || f.ends_with("_tol"))
+}
+
+fn is_float_literal(tok: &str) -> bool {
+    let tok = tok
+        .strip_suffix("f64")
+        .or_else(|| tok.strip_suffix("f32"))
+        .unwrap_or(tok);
+    let tok = tok.strip_prefix('-').unwrap_or(tok);
+    if tok.is_empty() || !tok.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let has_marker = tok.contains('.') || tok.contains('e') || tok.contains('E');
+    has_marker
+        && tok
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-' | '_'))
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: undocumented-unsafe
+// ---------------------------------------------------------------------------
+
+/// Every `unsafe` block/fn/impl must carry a `// SAFETY:` comment on the
+/// same line or within the three lines above it.
+fn undocumented_unsafe(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if token_positions(&line.code, "unsafe").is_empty() {
+            continue;
+        }
+        let documented = file.lines[idx.saturating_sub(3)..=idx]
+            .iter()
+            .any(|l| l.comment.contains("SAFETY:"));
+        if !documented {
+            out.push(finding(
+                "undocumented-unsafe",
+                file,
+                idx,
+                "`unsafe` without a `// SAFETY:` comment explaining why the \
+                 invariants hold"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: wallclock-in-core
+// ---------------------------------------------------------------------------
+
+/// No wall-clock reads outside `server`/`bench`: `Instant::now` /
+/// `SystemTime` in algorithmic crates couples results or control flow to
+/// timing, the classic way determinism dies. I/O pacing exceptions (WAL
+/// fsync deadlines) carry allow comments.
+fn wallclock_in_core(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in ["Instant::now", "SystemTime"] {
+            if !token_positions(&line.code, pat.split("::").next().unwrap()).is_empty()
+                && line.code.contains(pat)
+            {
+                out.push(finding(
+                    "wallclock-in-core",
+                    file,
+                    idx,
+                    format!(
+                        "wall-clock read (`{pat}`) outside server/bench; results must \
+                         not depend on time"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: panic-in-hot-path
+// ---------------------------------------------------------------------------
+
+/// Counts `unwrap`/`expect`/`panic!`/`unreachable!` sites in the serving
+/// and WAL write paths. Existing debt is frozen in the committed baseline;
+/// the budget check happens in [`apply_allows`].
+fn panic_in_hot_path(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for tok in PANIC_TOKENS {
+            for _ in 0..line.code.matches(tok).count() {
+                out.push(finding(
+                    "panic-in-hot-path",
+                    file,
+                    idx,
+                    format!("panic site `{tok}` in a frozen-budget write path"),
+                ));
+            }
+        }
+    }
+}
+
+/// Panic sites in `file` that survive allow comments — the number a
+/// baseline entry must budget for (`--write-baseline`).
+pub fn count_panic_sites(file: &SourceFile, _baseline: &Baseline) -> usize {
+    let mut raw = Vec::new();
+    panic_in_hot_path(file, &mut raw);
+    raw.iter()
+        .filter(|f| {
+            !file
+                .allows
+                .iter()
+                .any(|a| a.rule == f.rule && a.target == f.line)
+        })
+        .count()
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+fn finding(rule: &'static str, file: &SourceFile, idx: usize, message: String) -> Finding {
+    Finding {
+        rule,
+        level: default_level(rule),
+        path: file.rel_path.clone(),
+        line: idx + 1,
+        message,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte positions of `tok` in `code` with identifier word boundaries.
+fn token_positions(code: &str, tok: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(tok) {
+        let pos = from + rel;
+        from = pos + tok.len();
+        let before_ok = !code[..pos].chars().next_back().is_some_and(is_ident_char);
+        let after_ok = !code[pos + tok.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+/// If `rest` starts with `.method(`, returns `method`.
+fn leading_method(rest: &str) -> Option<&str> {
+    let rest = rest.strip_prefix('.')?;
+    let end = rest.find(|c: char| !is_ident_char(c))?;
+    rest[end..].starts_with('(').then_some(&rest[..end])
+}
+
+/// The identifier ending `s`, if any.
+fn trailing_ident(s: &str) -> Option<String> {
+    let end = s.len();
+    let start = s
+        .char_indices()
+        .rev()
+        .take_while(|&(_, c)| is_ident_char(c))
+        .last()
+        .map(|(i, _)| i)?;
+    let ident = &s[start..end];
+    ident
+        .starts_with(|c: char| c.is_alphabetic() || c == '_')
+        .then(|| ident.to_string())
+}
+
+/// The literal-ish token ending `s` (for float-literal tests).
+fn trailing_token(s: &str) -> &str {
+    let start = s
+        .char_indices()
+        .rev()
+        .take_while(|&(_, c)| is_ident_char(c) || c == '.')
+        .last()
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    &s[start..]
+}
+
+/// The literal-ish token starting `s`.
+fn leading_token(s: &str) -> &str {
+    let end = s
+        .find(|c: char| !is_ident_char(c) && c != '.')
+        .unwrap_or(s.len());
+    &s[..end]
+}

@@ -1,0 +1,471 @@
+//! Line/token-level Rust source scanner.
+//!
+//! Deliberately *not* a parser: the offline-build constraint (no external
+//! crates, see `crates/compat`) rules out `syn`, and the rules in
+//! [`crate::rules`] only need four things a full AST would give us:
+//!
+//! 1. code with comments removed and string/char-literal contents blanked
+//!    (so rule patterns never fire inside literals or docs),
+//! 2. which lines sit inside a `#[cfg(test)]` item,
+//! 3. the innermost enclosing `fn` name (for per-function exemptions like
+//!    `rank_cmp` and the `*_tol` slab paths),
+//! 4. the `// iq-lint: allow(<rule>, reason = "...")` escape-hatch comments.
+//!
+//! The lexer is a small state machine over characters that survives
+//! multi-line strings, raw strings, nested block comments, lifetimes vs.
+//! char literals, and byte literals. It is heuristic by design; the
+//! fixture suite in `tests/` pins the behaviours the rules depend on.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code with comments removed and literal contents blanked. Character
+    /// positions are *not* guaranteed to align with the raw line (blanked
+    /// regions collapse to spaces), but token order is preserved.
+    pub code: String,
+    /// Text of any comment on the line (line and block comments joined).
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Innermost enclosing function name, if any.
+    pub fn_name: Option<String>,
+}
+
+/// A parsed `iq-lint: allow(<rule>, reason = "...")` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being allowed.
+    pub rule: String,
+    /// The mandatory reason string; `None` when the comment omitted it
+    /// (which is itself a finding — see `allow-missing-reason`).
+    pub reason: Option<String>,
+    /// 1-based line the comment appears on.
+    pub line: usize,
+    /// 1-based line the allow applies to: the comment's own line when that
+    /// line has code, otherwise the next line with code.
+    pub target: usize,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Owning crate directory name (`core`, `topk`, …) or `root` for the
+    /// facade crate's own `src/`.
+    pub crate_name: String,
+    /// Scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// All allow comments, resolved to their target lines.
+    pub allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    /// Scans `source` into lines + allows.
+    pub fn scan(rel_path: &str, crate_name: &str, source: &str) -> SourceFile {
+        let stripped = strip(source);
+        let lines = annotate(&stripped);
+        let allows = collect_allows(&lines);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            lines,
+            allows,
+        }
+    }
+}
+
+/// The crate directory name owning a workspace-relative path.
+pub fn crate_of(rel_path: &str) -> &str {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("root"),
+        _ => "root",
+    }
+}
+
+// Lexer state that survives line breaks.
+enum Mode {
+    Code,
+    /// Inside a normal (escaped) string literal.
+    Str,
+    /// Inside a raw string literal with `n` closing hashes.
+    RawStr(usize),
+    /// Inside a block comment at the given nesting depth.
+    Block(usize),
+}
+
+/// First pass: split every line into blanked code + comment text.
+fn strip(source: &str) -> Vec<(String, String)> {
+    let mut mode = Mode::Code;
+    let mut out = Vec::new();
+    for raw in source.lines() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(chars.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            match mode {
+                Mode::Block(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        i += 2;
+                        if depth == 1 {
+                            mode = Mode::Code;
+                        } else {
+                            mode = Mode::Block(depth - 1);
+                        }
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        i += 2;
+                        mode = Mode::Block(depth + 1);
+                    } else {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                    code.push(' ');
+                }
+                Mode::Str => {
+                    if chars[i] == '\\' {
+                        i += 2; // skip the escaped char (may run past EOL)
+                        code.push(' ');
+                    } else if chars[i] == '"' {
+                        code.push('"');
+                        i += 1;
+                        mode = Mode::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
+                        code.push('"');
+                        i += 1 + hashes;
+                        mode = Mode::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        comment.push_str(&chars[i + 2..].iter().collect::<String>());
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        mode = Mode::Block(1);
+                    } else if c == '"' {
+                        code.push('"');
+                        i += 1;
+                        mode = Mode::Str;
+                    } else if (c == 'r' || c == 'b')
+                        && !prev_is_ident(&chars, i)
+                        && raw_prefix(&chars, i).is_some()
+                    {
+                        let (hashes, skip) = raw_prefix(&chars, i).unwrap();
+                        for _ in 0..skip {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        i += skip + 1;
+                        mode = Mode::RawStr(hashes);
+                    } else if c == 'b'
+                        && !prev_is_ident(&chars, i)
+                        && chars.get(i + 1) == Some(&'"')
+                    {
+                        code.push(' ');
+                        code.push('"');
+                        i += 2;
+                        mode = Mode::Str;
+                    } else if c == '\'' || (c == 'b' && chars.get(i + 1) == Some(&'\'')) {
+                        let q = if c == 'b' { i + 1 } else { i };
+                        if let Some(end) = char_literal_end(&chars, q) {
+                            for _ in i..=end {
+                                code.push(' ');
+                            }
+                            i = end + 1;
+                        } else {
+                            // A lifetime: keep the tick, the ident follows.
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push((code, comment));
+    }
+    out
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// `r"`, `r#"`, `br##"`, … starting at `i`: returns `(hashes, chars before
+/// the opening quote)`.
+fn raw_prefix(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some((hashes, j - i))
+}
+
+fn closes_raw(chars: &[char], from: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// If a char literal starts at the `'` at `q`, returns the index of its
+/// closing quote; `None` means lifetime.
+fn char_literal_end(chars: &[char], q: usize) -> Option<usize> {
+    if chars.get(q) != Some(&'\'') {
+        return None;
+    }
+    if chars.get(q + 1) == Some(&'\\') {
+        // Escaped literal: scan ahead for the closing quote.
+        let mut j = q + 2;
+        while j < chars.len() && j < q + 12 {
+            if chars[j] == '\'' {
+                return Some(j);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // `'x'` — exactly one char then a quote; anything else is a lifetime.
+    (chars.get(q + 2) == Some(&'\'')).then_some(q + 2)
+}
+
+/// Second pass: brace-depth tracking for `#[cfg(test)]` regions and
+/// enclosing-fn names.
+fn annotate(stripped: &[(String, String)]) -> Vec<Line> {
+    let mut lines = Vec::with_capacity(stripped.len());
+    let mut depth: i32 = 0;
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut pending_test = false;
+    let mut test_depth: Option<i32> = None;
+
+    for (code, comment) in stripped {
+        let in_test_at_start = test_depth.is_some();
+        let fn_at_start = fn_stack.last().map(|(n, _)| n.clone());
+        let mut pushed_this_line: Option<String> = None;
+
+        if code.contains("cfg(test)") || code.contains("cfg(all(test") {
+            pending_test = true;
+        }
+
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                if word == "fn" {
+                    // Capture the following identifier as the fn name.
+                    let mut j = i;
+                    while j < chars.len() && chars[j].is_whitespace() {
+                        j += 1;
+                    }
+                    let name_start = j;
+                    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    if j > name_start {
+                        pending_fn = Some(chars[name_start..j].iter().collect());
+                    }
+                    i = j;
+                }
+                continue;
+            }
+            match c {
+                '{' => {
+                    if pending_test {
+                        test_depth = Some(depth);
+                        pending_test = false;
+                    }
+                    if let Some(name) = pending_fn.take() {
+                        pushed_this_line = Some(name.clone());
+                        fn_stack.push((name, depth));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    while fn_stack.last().is_some_and(|&(_, d)| d == depth) {
+                        fn_stack.pop();
+                    }
+                    if test_depth == Some(depth) {
+                        test_depth = None;
+                    }
+                }
+                ';' => {
+                    pending_fn = None;
+                    pending_test = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+
+        lines.push(Line {
+            code: code.clone(),
+            comment: comment.clone(),
+            in_test: in_test_at_start || test_depth.is_some(),
+            fn_name: pushed_this_line.or(fn_at_start),
+        });
+    }
+    lines
+}
+
+/// Extracts `iq-lint: allow(...)` comments and resolves their targets.
+fn collect_allows(lines: &[Line]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(parsed) = parse_allow(&line.comment) else {
+            continue;
+        };
+        let target = if line.code.trim().is_empty() {
+            // Standalone comment: applies to the next line with code.
+            lines[idx + 1..]
+                .iter()
+                .position(|l| !l.code.trim().is_empty())
+                .map(|off| idx + 1 + off + 1)
+                .unwrap_or(idx + 1)
+        } else {
+            idx + 1
+        };
+        allows.push(Allow {
+            rule: parsed.0,
+            reason: parsed.1,
+            line: idx + 1,
+            target,
+        });
+    }
+    allows
+}
+
+/// Parses `iq-lint: allow(<rule>[, reason = "..."])` out of a comment.
+fn parse_allow(comment: &str) -> Option<(String, Option<String>)> {
+    let rest = comment.split("iq-lint:").nth(1)?.trim_start();
+    let body = rest.strip_prefix("allow(")?;
+    let close = body.rfind(')')?;
+    let body = &body[..close];
+    let (rule, reason_part) = match body.find(',') {
+        Some(comma) => (&body[..comma], Some(&body[comma + 1..])),
+        None => (body, None),
+    };
+    let rule = rule.trim().to_string();
+    // Kebab-case rule names only: prose describing the grammar (`<rule>`,
+    // `...`) must not parse as a directive, while real typos still do so
+    // the unknown-rule check can flag them.
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    {
+        return None;
+    }
+    let reason = reason_part.and_then(|p| {
+        let p = p
+            .trim()
+            .strip_prefix("reason")?
+            .trim_start()
+            .strip_prefix('=')?;
+        let p = p.trim();
+        let p = p.strip_prefix('"')?.strip_suffix('"')?;
+        (!p.trim().is_empty()).then(|| p.to_string())
+    });
+    Some((rule, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = SourceFile::scan(
+            "crates/core/src/x.rs",
+            "core",
+            "let x = \"HashMap.iter()\"; // HashMap.iter()\nlet y = 1;\n",
+        );
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap"));
+        assert_eq!(f.lines[1].code.trim(), "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_block_comments_span_lines() {
+        let src = "let s = r#\"a\nHashMap b\"#;\n/* multi\nline HashMap */ let z = 2;\n";
+        let f = SourceFile::scan("crates/core/src/x.rs", "core", src);
+        assert!(!f.lines.iter().any(|l| l.code.contains("HashMap")));
+        assert!(f.lines[3].code.contains("let z = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::scan(
+            "crates/core/src/x.rs",
+            "core",
+            "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x'; let e = '\\n'; let u = unsafe_marker;\n",
+        );
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(!f.lines[1].code.contains('x'));
+        assert!(f.lines[1].code.contains("unsafe_marker"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n";
+        let f = SourceFile::scan("crates/core/src/x.rs", "core", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn fn_names_are_tracked() {
+        let src = "fn outer() {\n    let a = 1;\n}\nfn rank_cmp() {\n    let b = 2;\n}\n";
+        let f = SourceFile::scan("crates/core/src/x.rs", "core", src);
+        assert_eq!(f.lines[1].fn_name.as_deref(), Some("outer"));
+        assert_eq!(f.lines[4].fn_name.as_deref(), Some("rank_cmp"));
+    }
+
+    #[test]
+    fn allow_comment_round_trip() {
+        let src = "// iq-lint: allow(hash-iter-order, reason = \"sorted before drain\")\nfor k in map.keys() {}\nmap.iter(); // iq-lint: allow(hash-iter-order)\n";
+        let f = SourceFile::scan("crates/core/src/x.rs", "core", src);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].rule, "hash-iter-order");
+        assert_eq!(f.allows[0].reason.as_deref(), Some("sorted before drain"));
+        assert_eq!(f.allows[0].target, 2);
+        assert_eq!(f.allows[1].target, 3);
+        assert!(f.allows[1].reason.is_none());
+    }
+
+    #[test]
+    fn crate_names_resolve() {
+        assert_eq!(crate_of("crates/core/src/ese.rs"), "core");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+    }
+}

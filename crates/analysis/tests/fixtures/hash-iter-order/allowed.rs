@@ -1,0 +1,8 @@
+use std::collections::HashMap;
+
+pub fn sorted_before_escape(m: &HashMap<u32, u32>) -> Vec<u32> {
+    // iq-lint: allow(hash-iter-order, reason = "keys are sorted before the order escapes")
+    let mut out: Vec<u32> = m.keys().copied().collect();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,14 @@
+use std::collections::{BTreeMap, HashMap};
+
+pub fn lookups_are_fine(m: &HashMap<u32, u32>) -> Option<u32> {
+    m.get(&1).copied()
+}
+
+pub fn btree_iteration_is_fine(bt: &BTreeMap<u32, u32>) -> Vec<u32> {
+    bt.keys().copied().collect()
+}
+
+pub fn insert_remove(m: &mut HashMap<u32, u32>) {
+    m.insert(1, 2);
+    m.remove(&1);
+}

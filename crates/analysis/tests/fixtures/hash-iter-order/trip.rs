@@ -1,0 +1,18 @@
+use std::collections::HashMap;
+
+pub fn escape_order(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in m {
+        out.push(*k);
+    }
+    out.extend(m.keys());
+    out
+}
+
+pub fn drain_order() {
+    let mut s = HashMap::new();
+    s.insert(1u32, 2u32);
+    for x in s.drain() {
+        let _ = x;
+    }
+}

@@ -1,0 +1,3 @@
+pub fn poisoned_lock_is_fatal(v: Option<u32>) -> u32 {
+    v.unwrap() // iq-lint: allow(panic-in-hot-path, reason = "poisoned state must not serve reads")
+}

@@ -1,0 +1,14 @@
+pub fn handled(v: Option<u32>, w: Option<u32>) -> Result<u32, String> {
+    let a = v.ok_or("v missing")?;
+    let b = w.ok_or("w missing")?;
+    Ok(a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_free() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

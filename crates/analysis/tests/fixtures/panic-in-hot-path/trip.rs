@@ -1,0 +1,8 @@
+pub fn three_sites(v: Option<u32>, w: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = w.expect("w must be set");
+    if a + b == 0 {
+        panic!("impossible");
+    }
+    a + b
+}

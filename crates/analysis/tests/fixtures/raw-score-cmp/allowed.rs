@@ -1,0 +1,3 @@
+pub fn degenerate(denom: f64) -> bool {
+    denom == 0.0 // iq-lint: allow(raw-score-cmp, reason = "exact-zero degeneracy test")
+}

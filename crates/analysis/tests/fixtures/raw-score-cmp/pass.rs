@@ -1,0 +1,19 @@
+pub fn total(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+pub fn tolerant(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+pub fn rank_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+pub fn search_tol(a: f64) -> bool {
+    a == 0.0
+}
+
+pub fn int_eq(a: u32) -> bool {
+    a == 0
+}

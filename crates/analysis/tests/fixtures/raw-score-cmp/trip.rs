@@ -1,0 +1,12 @@
+pub fn compare(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+pub fn chained(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b)
+        .unwrap()
+}
+
+pub fn exact(a: f64) -> bool {
+    a == 0.0
+}

@@ -1,0 +1,4 @@
+pub fn read(p: *const u8) -> u8 {
+    // iq-lint: allow(undocumented-unsafe, reason = "safety argued in the module docs")
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points at a live, initialized byte.
+    unsafe { *p }
+}
+
+pub fn unsafe_sounding_name_is_fine(unsafe_box: u8) -> u8 {
+    unsafe_box
+}

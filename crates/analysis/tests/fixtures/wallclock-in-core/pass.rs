@@ -1,0 +1,5 @@
+use std::time::Duration;
+
+pub fn fixed_interval() -> Duration {
+    Duration::from_millis(5)
+}

@@ -1,0 +1,310 @@
+//! Fixture-driven tests: for each rule one fixture that must trip, one
+//! that must pass, and one allow-comment round-trip — plus the
+//! workspace-clean self-test that enforces the repo-wide acceptance
+//! criterion inside `cargo test`.
+//!
+//! Fixture sources live under `tests/fixtures/<rule>/`; they are data, not
+//! compile targets (cargo only builds top-level `tests/*.rs`), and the
+//! workspace walker skips any path containing a `fixtures` component so
+//! the lint never scans them in situ.
+
+use iq_analysis::baseline::Baseline;
+use iq_analysis::rules::{lint_file, Finding, Level};
+use iq_analysis::scanner::SourceFile;
+use iq_analysis::{lint_workspace, Options};
+use std::path::Path;
+
+/// Lints one fixture as if it lived at `rel_path`, with a baseline parsed
+/// from `baseline` text.
+fn lint_fixture(rule_dir: &str, fixture: &str, rel_path: &str, baseline: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule_dir)
+        .join(fixture);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {}: {e}", path.display()));
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap();
+    let file = SourceFile::scan(rel_path, crate_name, &source);
+    lint_file(&file, &Baseline::parse(baseline).unwrap(), false)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// --- hash-iter-order ------------------------------------------------------
+
+#[test]
+fn hash_iter_order_trips() {
+    let f = lint_fixture("hash-iter-order", "trip.rs", "crates/core/src/x.rs", "");
+    let rules = rules_of(&f);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "hash-iter-order").count(),
+        3,
+        "{f:?}"
+    );
+}
+
+#[test]
+fn hash_iter_order_passes() {
+    let f = lint_fixture("hash-iter-order", "pass.rs", "crates/core/src/x.rs", "");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn hash_iter_order_is_scoped_to_deterministic_crates() {
+    // The same tripping source is fine in the server crate.
+    let f = lint_fixture("hash-iter-order", "trip.rs", "crates/server/src/x.rs", "");
+    assert!(!rules_of(&f).contains(&"hash-iter-order"), "{f:?}");
+}
+
+#[test]
+fn hash_iter_order_allow_roundtrip() {
+    let f = lint_fixture("hash-iter-order", "allowed.rs", "crates/core/src/x.rs", "");
+    assert!(f.is_empty(), "reasoned allow must suppress cleanly: {f:?}");
+}
+
+// --- raw-score-cmp --------------------------------------------------------
+
+#[test]
+fn raw_score_cmp_trips() {
+    let f = lint_fixture("raw-score-cmp", "trip.rs", "crates/core/src/x.rs", "");
+    // Two partial_cmp().unwrap() sites (one chained across lines) and one
+    // float equality.
+    assert_eq!(
+        rules_of(&f)
+            .iter()
+            .filter(|r| **r == "raw-score-cmp")
+            .count(),
+        3,
+        "{f:?}"
+    );
+}
+
+#[test]
+fn raw_score_cmp_passes_and_exempts() {
+    // total_cmp, unwrap_or, the rank_cmp fn, a `*_tol` fn, and integer
+    // equality are all clean.
+    let f = lint_fixture("raw-score-cmp", "pass.rs", "crates/core/src/x.rs", "");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn raw_score_cmp_allow_roundtrip() {
+    let f = lint_fixture("raw-score-cmp", "allowed.rs", "crates/core/src/x.rs", "");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- undocumented-unsafe --------------------------------------------------
+
+#[test]
+fn undocumented_unsafe_trips() {
+    let f = lint_fixture(
+        "undocumented-unsafe",
+        "trip.rs",
+        "crates/geometry/src/x.rs",
+        "",
+    );
+    assert_eq!(rules_of(&f), vec!["undocumented-unsafe"], "{f:?}");
+}
+
+#[test]
+fn undocumented_unsafe_passes_with_safety_comment() {
+    // Also checks word boundaries: an identifier *named* `unsafe_box` is
+    // not the `unsafe` keyword.
+    let f = lint_fixture(
+        "undocumented-unsafe",
+        "pass.rs",
+        "crates/geometry/src/x.rs",
+        "",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn undocumented_unsafe_allow_roundtrip() {
+    let f = lint_fixture(
+        "undocumented-unsafe",
+        "allowed.rs",
+        "crates/geometry/src/x.rs",
+        "",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- wallclock-in-core ----------------------------------------------------
+
+#[test]
+fn wallclock_trips_in_core() {
+    let f = lint_fixture(
+        "wallclock-in-core",
+        "trip.rs",
+        "crates/storage/src/x.rs",
+        "",
+    );
+    // Three mentions: Instant::now(), the SystemTime return type, and
+    // SystemTime::now() — the rule flags the type too (ISSUE wording: no
+    // `SystemTime` outside server/bench), since holding a wall-clock value
+    // in a core crate is already a determinism smell.
+    assert_eq!(rules_of(&f), vec!["wallclock-in-core"; 3], "{f:?}");
+    assert!(
+        f.iter().all(|x| x.level == Level::Warn),
+        "default level is warn"
+    );
+}
+
+#[test]
+fn wallclock_is_fine_in_server_and_bench() {
+    for c in ["server", "bench"] {
+        let rel = format!("crates/{c}/src/x.rs");
+        let f = lint_fixture("wallclock-in-core", "trip.rs", &rel, "");
+        assert!(f.is_empty(), "{c}: {f:?}");
+    }
+}
+
+#[test]
+fn wallclock_passes_without_clock_reads() {
+    let f = lint_fixture(
+        "wallclock-in-core",
+        "pass.rs",
+        "crates/storage/src/x.rs",
+        "",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn wallclock_allow_roundtrip() {
+    let f = lint_fixture(
+        "wallclock-in-core",
+        "allowed.rs",
+        "crates/storage/src/x.rs",
+        "",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --- panic-in-hot-path ----------------------------------------------------
+
+const ENGINE: &str = "crates/server/src/engine.rs";
+
+#[test]
+fn panic_budget_rejects_new_debt() {
+    // trip.rs has 3 panic sites; a baseline of 2 means one is new debt.
+    let baseline = format!("panic-in-hot-path {ENGINE} 2\n");
+    let f = lint_fixture("panic-in-hot-path", "trip.rs", ENGINE, &baseline);
+    assert_eq!(rules_of(&f), vec!["panic-in-hot-path"], "{f:?}");
+    assert_eq!(f[0].level, Level::Deny);
+}
+
+#[test]
+fn panic_budget_accepts_frozen_debt() {
+    let baseline = format!("panic-in-hot-path {ENGINE} 3\n");
+    let f = lint_fixture("panic-in-hot-path", "trip.rs", ENGINE, &baseline);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn panic_budget_requires_a_baseline_entry() {
+    let f = lint_fixture("panic-in-hot-path", "trip.rs", ENGINE, "");
+    assert_eq!(rules_of(&f), vec!["panic-in-hot-path"], "{f:?}");
+}
+
+#[test]
+fn panic_budget_warns_when_stale() {
+    // pass.rs has 0 non-test panic sites; a baseline of 2 is stale.
+    let baseline = format!("panic-in-hot-path {ENGINE} 2\n");
+    let f = lint_fixture("panic-in-hot-path", "pass.rs", ENGINE, &baseline);
+    assert_eq!(rules_of(&f), vec!["stale-baseline"], "{f:?}");
+    assert_eq!(f[0].level, Level::Warn);
+}
+
+#[test]
+fn panic_budget_ignores_cfg_test_and_other_files() {
+    let baseline = format!("panic-in-hot-path {ENGINE} 0\n");
+    let f = lint_fixture("panic-in-hot-path", "pass.rs", ENGINE, &baseline);
+    assert!(
+        f.is_empty(),
+        "unwraps inside #[cfg(test)] must not count: {f:?}"
+    );
+    // The rule only applies to the three hot-path files.
+    let f = lint_fixture(
+        "panic-in-hot-path",
+        "trip.rs",
+        "crates/server/src/other.rs",
+        "",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn panic_budget_allow_roundtrip() {
+    let baseline = format!("panic-in-hot-path {ENGINE} 0\n");
+    let f = lint_fixture("panic-in-hot-path", "allowed.rs", ENGINE, &baseline);
+    assert!(
+        f.is_empty(),
+        "allowed site must not count against the budget: {f:?}"
+    );
+}
+
+// --- allow-comment hygiene ------------------------------------------------
+
+#[test]
+fn allow_without_reason_is_denied() {
+    let src = "pub fn f(a: f64) -> bool {\n    a == 0.0 // iq-lint: allow(raw-score-cmp)\n}\n";
+    let file = SourceFile::scan("crates/core/src/x.rs", "core", src);
+    let f = lint_file(&file, &Baseline::default(), false);
+    assert!(rules_of(&f).contains(&"allow-missing-reason"), "{f:?}");
+}
+
+#[test]
+fn unused_allow_warns_and_unknown_rule_denies() {
+    let src = "// iq-lint: allow(raw-score-cmp, reason = \"nothing here\")\npub fn f() {}\n\
+               // iq-lint: allow(no-such-rule, reason = \"typo\")\npub fn g() {}\n";
+    let file = SourceFile::scan("crates/core/src/x.rs", "core", src);
+    let f = lint_file(&file, &Baseline::default(), false);
+    let unused: Vec<_> = f.iter().filter(|x| x.rule == "unused-allow").collect();
+    assert_eq!(unused.len(), 2, "{f:?}");
+    assert!(unused
+        .iter()
+        .any(|x| x.level == Level::Warn && x.message.contains("suppresses nothing")));
+    assert!(unused
+        .iter()
+        .any(|x| x.level == Level::Deny && x.message.contains("no-such-rule")));
+}
+
+#[test]
+fn deny_all_promotes_warns() {
+    let f = {
+        let path =
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/wallclock-in-core/trip.rs");
+        let src = std::fs::read_to_string(path).unwrap();
+        let file = SourceFile::scan("crates/storage/src/x.rs", "storage", &src);
+        lint_file(&file, &Baseline::default(), true)
+    };
+    assert!(!f.is_empty());
+    assert!(f.iter().all(|x| x.level == Level::Deny), "{f:?}");
+}
+
+// --- the workspace itself -------------------------------------------------
+
+/// The repo-wide acceptance criterion, enforced in `cargo test`: the
+/// workspace is iq-lint clean under `--deny-all`, with every allow
+/// carrying a reason.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline_text =
+        std::fs::read_to_string(root.join("crates/analysis/lint-baseline.txt")).unwrap();
+    let baseline = Baseline::parse(&baseline_text).unwrap();
+    let report = lint_workspace(&root, &baseline, &Options { deny_all: true });
+    assert!(report.files_scanned > 50, "walker found too few files");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be iq-lint clean:\n{}",
+        report.text()
+    );
+}

@@ -26,6 +26,9 @@
 //!         [--json PATH] [--check-stats] [--durability] [--writes N]
 //! ```
 
+// Timing is this crate's job: wall-clock constructors are unbanned here
+// (clippy.toml disallowed-methods; see iq-lint wallclock-in-core).
+#![allow(clippy::disallowed_methods)]
 use iq_core::{ExecPolicy, Instance};
 use iq_server::{
     protocol, Client, DurabilityConfig, Engine, FsyncMode, Metrics, ServerConfig, ServerHandle,

@@ -257,12 +257,21 @@ impl<'a> EvalContext<'a> {
         // Slab re-scoring reads contiguous flat rows: `wf.dot_row(qi, ·)`
         // is `dot(w_q, p_new)`, bit-identical to `dot(p_new, w_q)`.
         let wf = self.instance.weights_flat();
+        // Slab-visit superset witness: every query whose hit status flips
+        // must have been touched by some slab scan, or the pruning is
+        // unsound. Tracked only under debug-invariants.
+        #[cfg(feature = "debug-invariants")]
+        let visited = std::cell::RefCell::new(vec![false; self.instance.num_queries()]);
         for group in self.grouped.group_keys() {
             let o_attrs = Vector::from(self.instance.object(group));
             match Slab::affected_subspace(&p_eff, &o_attrs, s) {
                 Some(slab) => {
                     self.grouped
                         .visit_slab_tol(group, &slab, BOUNDARY_TOL, &mut |qi| {
+                            #[cfg(feature = "debug-invariants")]
+                            {
+                                visited.borrow_mut()[qi] = true;
+                            }
                             let now = self.hit_status(qi, wf.dot_row(qi, p_new.as_slice()));
                             if now != cursor.hit[qi] {
                                 visit(qi, cursor.hit[qi], now);
@@ -280,6 +289,10 @@ impl<'a> EvalContext<'a> {
                         ),
                         f64::INFINITY,
                         &mut |qi| {
+                            #[cfg(feature = "debug-invariants")]
+                            {
+                                visited.borrow_mut()[qi] = true;
+                            }
                             let now = self.hit_status(qi, wf.dot_row(qi, p_new.as_slice()));
                             if now != cursor.hit[qi] {
                                 visit(qi, cursor.hit[qi], now);
@@ -287,6 +300,19 @@ impl<'a> EvalContext<'a> {
                         },
                     );
                 }
+            }
+        }
+        #[cfg(feature = "debug-invariants")]
+        {
+            let visited = visited.into_inner();
+            for (qi, seen) in visited.iter().enumerate() {
+                let now = self.hit_status(qi, wf.dot_row(qi, p_new.as_slice()));
+                assert!(
+                    *seen || now == cursor.hit[qi],
+                    "debug-invariants: ESE slab scans missed query {qi} whose hit \
+                     status changed ({} -> {now})",
+                    cursor.hit[qi],
+                );
             }
         }
     }

@@ -211,7 +211,7 @@ pub fn multi_min_cost_iq(
                 .iter()
                 .enumerate()
                 .filter(|(_, c)| c.union_delta >= need)
-                .min_by(|(_, a), (_, b)| a.cost_inc.partial_cmp(&b.cost_inc).unwrap())
+                .min_by(|(_, a), (_, b)| a.cost_inc.total_cmp(&b.cost_inc))
                 .map(|(i, _)| i)
                 .unwrap_or(best)
         } else {

@@ -210,7 +210,7 @@ fn candidates<E: HitEvaluator>(
     }
     if let Some(cap) = opts.candidate_cap {
         if solved.len() > cap {
-            solved.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+            solved.sort_by(|a, b| a.2.total_cmp(&b.2));
             solved.truncate(cap);
         }
     }
@@ -315,7 +315,7 @@ pub fn run_min_cost<E: HitEvaluator>(
             let winner = cands
                 .iter()
                 .filter(|c| c.hits_after >= tau)
-                .min_by(|a, b| a.cost_inc.partial_cmp(&b.cost_inc).unwrap())
+                .min_by(|a, b| a.cost_inc.total_cmp(&b.cost_inc))
                 .expect("best candidate exceeds tau, so the filter is non-empty");
             let s = winner.strategy.clone();
             ev.apply(&s);
@@ -388,7 +388,7 @@ pub fn run_max_hit<E: HitEvaluator>(
         } else {
             // Budget cannot cover the best candidate: final fill pass over
             // the rest, cheapest first (Algorithm 4 lines 13–17).
-            cands.sort_by(|a, b| a.cost_inc.partial_cmp(&b.cost_inc).unwrap());
+            cands.sort_by(|a, b| a.cost_inc.total_cmp(&b.cost_inc));
             for c in cands {
                 if spent + c.cost_inc <= budget && !ev.is_hit(c.query) {
                     spent += c.cost_inc;

@@ -27,7 +27,7 @@ use iq_geometry::bsp;
 use iq_geometry::{Hyperplane, Vector};
 use iq_index::{BloomFilter, RTree};
 use iq_topk::naive;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One subdomain: a set of queries sharing the full candidate ranking.
 #[derive(Debug, Clone)]
@@ -49,7 +49,7 @@ pub struct QueryIndex {
     /// incremental removals; ids stay stable).
     pub(crate) subdomains: Vec<SubdomainEntry>,
     /// Toplist → subdomain id, for incremental query assignment (§4.3).
-    pub(crate) by_toplist: HashMap<Vec<u32>, u32>,
+    pub(crate) by_toplist: BTreeMap<Vec<u32>, u32>,
     /// R-tree over query points; payload = query index.
     pub(crate) rtree: RTree<usize>,
     /// Bloom filter: object id → appears in some subdomain's toplist.
@@ -78,7 +78,7 @@ impl QueryIndex {
         let m = instance.num_queries();
         let mut subdomain_of = vec![0u32; m];
         let mut subdomains: Vec<SubdomainEntry> = Vec::new();
-        let mut by_toplist: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut by_toplist: BTreeMap<Vec<u32>, u32> = BTreeMap::new();
 
         // Signatures stream through the batched kernel over the flat
         // object matrix; each worker reuses one scores buffer across its

@@ -35,6 +35,20 @@ pub struct UpdateStats {
 /// How many nearest neighbours to probe for candidate subdomains.
 const KNN_CANDIDATES: usize = 4;
 
+/// With `--features debug-invariants`, re-checks the full structural
+/// invariants of the `QueryIndex` (assignment consistency, exact toplists,
+/// same-subdomain identity) after a mutation. Compiled out otherwise: the
+/// check is a full naive re-evaluation per call.
+#[inline]
+fn debug_check(instance: &Instance, index: &QueryIndex) {
+    #[cfg(feature = "debug-invariants")]
+    index
+        .check_invariants(instance)
+        .expect("debug-invariants: QueryIndex invariant broken after update");
+    #[cfg(not(feature = "debug-invariants"))]
+    let _ = (instance, index);
+}
+
 fn compute_toplist(instance: &Instance, weights: &[f64], kprime: usize) -> Vec<u32> {
     naive::top_k(instance.objects(), weights, kprime)
         .into_iter()
@@ -159,6 +173,7 @@ pub fn add_query(
         assign_to_subdomain(index, qid, toplist);
     }
     index.rtree.insert(weights, qid);
+    debug_check(instance, index);
     Ok(qid)
 }
 
@@ -199,6 +214,7 @@ pub fn remove_query(
         index.subdomain_of[qid] = index.subdomain_of[last];
     }
     index.subdomain_of.pop();
+    debug_check(instance, index);
     Some(removed)
 }
 
@@ -237,6 +253,7 @@ pub fn add_object(
         detach_from_subdomain(index, q);
         assign_to_subdomain(index, q, toplist);
     }
+    debug_check(instance, index);
     Ok(oid)
 }
 
@@ -255,6 +272,10 @@ pub fn remove_last_object(
         // The object never appeared in any candidate list — no query's
         // ranking prefix can change (§4.3's fast path).
         stats.bloom_short_circuit = true;
+        // Under debug-invariants this also witnesses the bloom filter's
+        // "definitely not a boundary object" claim: the untouched toplists
+        // must still be exact over the shrunk object set.
+        debug_check(instance, index);
         return Some(removed);
     }
     let mut reassign: Vec<(usize, Vec<u32>)> = Vec::new();
@@ -274,6 +295,7 @@ pub fn remove_last_object(
         detach_from_subdomain(index, q);
         assign_to_subdomain(index, q, toplist);
     }
+    debug_check(instance, index);
     Some(removed)
 }
 

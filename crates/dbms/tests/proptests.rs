@@ -73,7 +73,7 @@ proptest! {
         let mut s = fresh_session(&rows);
         let got = select_ids(&mut s, &format!("SELECT id FROM t ORDER BY x ASC LIMIT {limit}"));
         let mut want: Vec<(f64, i64)> = rows.iter().map(|&(id, x)| (x, id)).collect();
-        want.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        want.sort_by(|a, b| a.0.total_cmp(&b.0));
         let want: Vec<i64> = want.into_iter().map(|(_, id)| id).take(limit).collect();
         prop_assert_eq!(got, want);
     }

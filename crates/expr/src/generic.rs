@@ -165,8 +165,7 @@ mod tests {
             let mut by_direct: Vec<usize> = (0..3).collect();
             by_direct.sort_by(|&a, &b| {
                 fam.score(member, &objects[a], &weights)
-                    .partial_cmp(&fam.score(member, &objects[b], &weights))
-                    .unwrap()
+                    .total_cmp(&fam.score(member, &objects[b], &weights))
             });
             let mut by_union: Vec<usize> = (0..3).collect();
             by_union.sort_by(|&a, &b| {
@@ -182,7 +181,7 @@ mod tests {
                     .zip(&aq)
                     .map(|(x, y)| x * y)
                     .sum();
-                sa.partial_cmp(&sb).unwrap()
+                sa.total_cmp(&sb)
             });
             assert_eq!(by_direct, by_union, "member {member}");
         }

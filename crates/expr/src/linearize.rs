@@ -305,6 +305,7 @@ fn fold_product(factors: Vec<Expr>, constant: f64) -> Expr {
     for f in it {
         acc = acc.mul(f);
     }
+    // iq-lint: allow(raw-score-cmp, reason = "exact multiplicative-identity test on a folded constant")
     if constant == 1.0 {
         acc
     } else {
@@ -356,7 +357,7 @@ mod tests {
         let attrs = [2.0, 3.0, 4.0, 5.0];
         let ao = u.augmented_object(&attrs);
         let mut sorted = ao.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         // p5 = 8, p6 = 12, p7 = 25.
         assert_eq!(sorted, vec![8.0, 12.0, 25.0]);
         check_score_equality(&u, &attrs, &[0.2, 0.5, 0.3]);

@@ -378,8 +378,8 @@ mod tests {
         let safe = bb(&[0.1, -10.0], &[0.2, -9.0]);
         assert!(safe.disjoint_from_slab(&slab));
         // Box containing a flipping point must not be pruned.
-        let unsafe_box = bb(&[0.5, 0.0], &[2.0, 1.0]);
-        assert!(!unsafe_box.disjoint_from_slab(&slab));
+        let flipping_box = bb(&[0.5, 0.0], &[2.0, 1.0]);
+        assert!(!flipping_box.disjoint_from_slab(&slab));
     }
 
     #[test]

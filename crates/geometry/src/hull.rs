@@ -31,8 +31,9 @@ pub fn convex_hull_indices(points: &[Point2]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
     idx.sort_by(|&a, &b| {
         points[a]
-            .partial_cmp(&points[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[a].1.total_cmp(&points[b].1))
     });
     idx.dedup_by(|&mut a, &mut b| points[a] == points[b]);
     if idx.len() <= 2 {
@@ -42,6 +43,7 @@ pub fn convex_hull_indices(points: &[Point2]) -> Vec<usize> {
     // interior points twice, so return the sorted distinct points directly.
     let first = points[idx[0]];
     let last = points[idx[idx.len() - 1]];
+    // iq-lint: allow(raw-score-cmp, reason = "exact collinearity degeneracy test")
     if idx.iter().all(|&i| cross(first, last, points[i]) == 0.0) {
         return idx;
     }
@@ -181,7 +183,7 @@ mod tests {
                 .max_by(|&a, &b| {
                     let fa = pts[a].0 * dir.0 + pts[a].1 * dir.1;
                     let fb = pts[b].0 * dir.0 + pts[b].1 * dir.1;
-                    fa.partial_cmp(&fb).unwrap()
+                    fa.total_cmp(&fb)
                 })
                 .unwrap();
             let best_score = pts[best].0 * dir.0 + pts[best].1 * dir.1;

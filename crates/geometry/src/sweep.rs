@@ -69,10 +69,12 @@ pub fn segments_intersect(s1: &Segment, s2: &Segment) -> bool {
     {
         return true;
     }
-    (d1 == 0.0 && on_segment(p2, p1, q2))
-        || (d2 == 0.0 && on_segment(p2, q1, q2))
-        || (d3 == 0.0 && on_segment(p1, p2, q1))
-        || (d4 == 0.0 && on_segment(p1, q2, q1))
+    // Exact orientation-sign degeneracy tests: a touching endpoint is
+    // collinear only at cross == 0.0 exactly.
+    (d1 == 0.0 && on_segment(p2, p1, q2)) // iq-lint: allow(raw-score-cmp, reason = "exact collinearity degeneracy test")
+        || (d2 == 0.0 && on_segment(p2, q1, q2)) // iq-lint: allow(raw-score-cmp, reason = "exact collinearity degeneracy test")
+        || (d3 == 0.0 && on_segment(p1, p2, q1)) // iq-lint: allow(raw-score-cmp, reason = "exact collinearity degeneracy test")
+        || (d4 == 0.0 && on_segment(p1, q2, q1)) // iq-lint: allow(raw-score-cmp, reason = "exact collinearity degeneracy test")
 }
 
 /// The intersection *point* of two properly crossing segments, if unique.
@@ -83,6 +85,7 @@ pub fn intersection_point(s1: &Segment, s2: &Segment) -> Option<Point> {
     let r = (s1.b.0 - s1.a.0, s1.b.1 - s1.a.1);
     let s = (s2.b.0 - s2.a.0, s2.b.1 - s2.a.1);
     let denom = r.0 * s.1 - r.1 * s.0;
+    // iq-lint: allow(raw-score-cmp, reason = "exact parallel-segments degeneracy test")
     if denom == 0.0 {
         return None;
     }
@@ -127,11 +130,7 @@ pub fn segment_intersections(segments: &[Segment]) -> Vec<(usize, usize)> {
     }
     // Enter events sort before exit events at equal x so touching segments
     // are simultaneously active.
-    events.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| b.enter.cmp(&a.enter))
-    });
+    events.sort_by(|a, b| a.x.total_cmp(&b.x).then_with(|| b.enter.cmp(&a.enter)));
 
     let mut active: Vec<usize> = Vec::new();
     let mut hits: Vec<(usize, usize)> = Vec::new();
@@ -197,9 +196,8 @@ pub fn line_intersections_1d(funcs: &[(f64, f64)], lo: f64, hi: f64) -> Vec<(usi
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
         key(a, lo)
-            .partial_cmp(&key(b, lo))
-            .unwrap()
-            .then(key(a, hi).partial_cmp(&key(b, hi)).unwrap())
+            .total_cmp(&key(b, lo))
+            .then(key(a, hi).total_cmp(&key(b, hi)))
             .then(a.cmp(&b))
     });
     // Count inversions between the left order and the right order by
@@ -209,9 +207,8 @@ pub fn line_intersections_1d(funcs: &[(f64, f64)], lo: f64, hi: f64) -> Vec<(usi
     let mut order_hi: Vec<usize> = (0..n).collect();
     order_hi.sort_by(|&a, &b| {
         key(a, hi)
-            .partial_cmp(&key(b, hi))
-            .unwrap()
-            .then(key(a, lo).partial_cmp(&key(b, lo)).unwrap())
+            .total_cmp(&key(b, hi))
+            .then(key(a, lo).total_cmp(&key(b, lo)))
             .then(a.cmp(&b))
     });
     for (r, &i) in order_hi.iter().enumerate() {
@@ -238,7 +235,7 @@ pub fn line_intersections_1d(funcs: &[(f64, f64)], lo: f64, hi: f64) -> Vec<(usi
             }
         }
     }
-    out.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    out.sort_by(|a, b| a.2.total_cmp(&b.2));
     out
 }
 

@@ -13,7 +13,7 @@
 
 use crate::rtree::RTree;
 use iq_geometry::Slab;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Below this population a group stores its points in a flat list.
 pub const TREE_THRESHOLD: usize = 32;
@@ -28,7 +28,7 @@ enum GroupStore {
 #[derive(Debug, Clone)]
 pub struct GroupedQueryIndex {
     dim: usize,
-    groups: HashMap<usize, GroupStore>,
+    groups: BTreeMap<usize, GroupStore>,
     len: usize,
     /// Whether [`GroupedQueryIndex::seal`] has been called with no mutation
     /// since: the explicit read-only state the serving layer relies on.
@@ -43,7 +43,7 @@ impl GroupedQueryIndex {
     pub fn new(dim: usize) -> Self {
         GroupedQueryIndex {
             dim,
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
             len: 0,
             sealed: false,
             unseal_events: 0,
@@ -74,7 +74,7 @@ impl GroupedQueryIndex {
         self.groups.len()
     }
 
-    /// Iterates over the group keys.
+    /// Iterates over the group keys in ascending order.
     pub fn group_keys(&self) -> impl Iterator<Item = usize> + '_ {
         self.groups.keys().copied()
     }
@@ -196,7 +196,8 @@ impl GroupedQueryIndex {
         }
     }
 
-    /// Visits every `(group, payload)` pair, in arbitrary order.
+    /// Visits every `(group, payload)` pair in ascending group order
+    /// (deterministic: the visit order feeds `evaluate_changes` output).
     pub fn visit_all(&self, visit: &mut impl FnMut(usize, &[f64], usize)) {
         for (&g, store) in &self.groups {
             match store {

@@ -625,10 +625,7 @@ impl<T> RTree<T> {
         impl<T> Ord for Pq<'_, T> {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
                 // Min-heap via reversed comparison; NaN-free by construction.
-                other
-                    .dist
-                    .partial_cmp(&self.dist)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                other.dist.total_cmp(&self.dist)
             }
         }
 
@@ -917,11 +914,7 @@ fn str_build<T>(mut items: Vec<Entry<T>>, dim: usize, max: usize, height: usize)
     debug_assert!((2..=max).contains(&children_count));
 
     let axis = widest_axis(&items, dim);
-    items.sort_by(|a, b| {
-        a.point[axis]
-            .partial_cmp(&b.point[axis])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    items.sort_by(|a, b| a.point[axis].total_cmp(&b.point[axis]));
 
     let base = n / children_count;
     let rem = n % children_count;
@@ -1213,13 +1206,8 @@ fn rstar_split<I>(
     for axis in 0..dim {
         items.sort_by(|a, b| {
             a.0.lo()[axis]
-                .partial_cmp(&b.0.lo()[axis])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(
-                    a.0.hi()[axis]
-                        .partial_cmp(&b.0.hi()[axis])
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
+                .total_cmp(&b.0.lo()[axis])
+                .then(a.0.hi()[axis].total_cmp(&b.0.hi()[axis]))
         });
         let (prefixes, suffixes) = sweep_boxes(&items, dim);
         let mut margin_sum = 0.0;
@@ -1235,13 +1223,8 @@ fn rstar_split<I>(
     // Re-sort along the chosen axis and pick the min-overlap distribution.
     items.sort_by(|a, b| {
         a.0.lo()[best_axis]
-            .partial_cmp(&b.0.lo()[best_axis])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(
-                a.0.hi()[best_axis]
-                    .partial_cmp(&b.0.hi()[best_axis])
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            .total_cmp(&b.0.lo()[best_axis])
+            .then(a.0.hi()[best_axis].total_cmp(&b.0.hi()[best_axis]))
     });
     let (prefixes, suffixes) = sweep_boxes(&items, dim);
     let mut best_k = min_fill;
@@ -1431,7 +1414,7 @@ mod tests {
                 .iter()
                 .map(|p| iq_geometry::vector::dist(&q, p))
                 .collect();
-            dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            dists.sort_by(|a, b| a.total_cmp(b));
             assert_eq!(got.len(), k);
             for (a, b) in got.iter().zip(&dists) {
                 assert!((a - b).abs() < 1e-9, "knn trial {trial}: {a} vs {b}");

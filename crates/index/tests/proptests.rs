@@ -82,7 +82,7 @@ proptest! {
         }
         let got = tree.nearest_k(&q, k);
         let mut dists: Vec<f64> = pts.iter().map(|p| iq_geometry::vector::dist(&q, p)).collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.sort_by(|a, b| a.total_cmp(b));
         prop_assert_eq!(got.len(), k.min(pts.len()));
         for (i, (_, d)) in got.iter().enumerate() {
             prop_assert!((d - dists[i]).abs() < 1e-9);

@@ -97,7 +97,7 @@ pub fn exact_min_cost<S: SubsetSolver>(
                 .map_or(f64::INFINITY, |(_, cost)| cost)
         })
         .collect();
-    order.sort_by(|&x, &y| indiv[x].partial_cmp(&indiv[y]).unwrap());
+    order.sort_by(|&x, &y| indiv[x].total_cmp(&indiv[y]));
 
     struct Ctx<'a, S> {
         conditions: &'a [HitCondition],

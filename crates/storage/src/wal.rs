@@ -269,6 +269,9 @@ pub struct Wal {
 impl Wal {
     /// Creates a fresh, empty WAL at `path` (truncating any existing
     /// file), writes and syncs the magic.
+    // Wall-clock here is fsync batch pacing only — it never reaches data
+    // (clippy.toml disallowed-methods; iq-lint wallclock-in-core allow).
+    #[allow(clippy::disallowed_methods)]
     pub fn create(path: &Path, mode: FsyncMode) -> Result<Wal, StorageError> {
         let mut file = OpenOptions::new()
             .create(true)
@@ -288,7 +291,7 @@ impl Wal {
             appends: 0,
             syncs: 1,
             pending: 0,
-            last_sync: Instant::now(),
+            last_sync: Instant::now(), // iq-lint: allow(wallclock-in-core, reason = "fsync batch deadline is I/O pacing, never data")
         })
     }
 
@@ -296,6 +299,9 @@ impl Wal {
     /// tail is truncated at the last valid record boundary (per the
     /// torn-write policy); a missing or torn-before-magic file is
     /// (re)initialized empty. Returns the open log and the replay.
+    // Wall-clock here is fsync batch pacing only — it never reaches data
+    // (clippy.toml disallowed-methods; iq-lint wallclock-in-core allow).
+    #[allow(clippy::disallowed_methods)]
     pub fn open(path: &Path, mode: FsyncMode) -> Result<(Wal, WalReplay), StorageError> {
         if !path.exists() {
             let wal = Wal::create(path, mode)?;
@@ -331,7 +337,7 @@ impl Wal {
             appends: 0,
             syncs: 1,
             pending: 0,
-            last_sync: Instant::now(),
+            last_sync: Instant::now(), // iq-lint: allow(wallclock-in-core, reason = "fsync batch deadline is I/O pacing, never data")
         };
         Ok((wal, replay))
     }
@@ -341,6 +347,18 @@ impl Wal {
     pub fn append(&mut self, statement: &str) -> Result<bool, StorageError> {
         let mut buf = Vec::with_capacity(RECORD_HEADER + statement.len());
         encode_record(statement.as_bytes(), &mut buf);
+        // Record-boundary witness: the bytes about to hit disk must decode
+        // back to exactly this payload with the cursor landing on the
+        // buffer end, or recovery would misparse every later record.
+        #[cfg(feature = "debug-invariants")]
+        match decode_record(&buf, 0) {
+            Decoded::Record { payload, next }
+                if payload == statement.as_bytes() && next == buf.len() => {}
+            other => {
+                // iq-lint: allow(panic-in-hot-path, reason = "debug-invariants sanitizer is opt-in and must abort on corruption")
+                panic!("debug-invariants: encoded WAL record fails round-trip decode: {other:?}")
+            }
+        }
         self.file
             .write_all(&buf)
             .map_err(|e| StorageError::io(format!("append wal `{}`", self.path.display()), e))?;
@@ -362,13 +380,16 @@ impl Wal {
     }
 
     /// Forces an fsync of everything appended so far.
+    // Wall-clock here is fsync batch pacing only — it never reaches data
+    // (clippy.toml disallowed-methods; iq-lint wallclock-in-core allow).
+    #[allow(clippy::disallowed_methods)]
     pub fn sync(&mut self) -> Result<(), StorageError> {
         self.file
             .sync_data()
             .map_err(|e| StorageError::io(format!("sync wal `{}`", self.path.display()), e))?;
         self.pending = 0;
         self.syncs += 1;
-        self.last_sync = Instant::now();
+        self.last_sync = Instant::now(); // iq-lint: allow(wallclock-in-core, reason = "fsync batch deadline is I/O pacing, never data")
         Ok(())
     }
 

@@ -54,8 +54,7 @@ impl DominantGraph {
         let sums: Vec<f64> = objects.iter().map(|o| o.iter().sum()).collect();
         order.sort_by(|&a, &b| {
             sums[a as usize]
-                .partial_cmp(&sums[b as usize])
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&sums[b as usize])
                 .then(a.cmp(&b))
         });
 

@@ -46,7 +46,7 @@ pub fn max_rank_2d(objects: &[Vec<f64>], target: usize) -> MaxRankResult {
         .collect();
     cuts.push(0.0);
     cuts.push(1.0);
-    cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    cuts.sort_by(|a, b| a.total_cmp(b));
     cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
     let mut best = MaxRankResult {

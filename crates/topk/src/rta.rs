@@ -45,6 +45,10 @@ pub fn reverse_top_k_flat(objects: &FlatMatrix, queries: &[TopKQuery], target: u
     // Process queries in lexicographic weight order so neighbours are
     // similar; remember the original index to report hits.
     let mut order: Vec<usize> = (0..queries.len()).collect();
+    // Lexicographic Vec<f64> ordering; weights are finite by construction
+    // and the order only affects visit sequence, never the hit set
+    // (clippy.toml disallowed-methods).
+    #[allow(clippy::disallowed_methods)]
     order.sort_by(|&a, &b| {
         queries[a]
             .weights

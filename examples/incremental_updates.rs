@@ -5,6 +5,9 @@
 //!
 //! Run with `cargo run --release --example incremental_updates`.
 
+// Timing is this crate's job: wall-clock constructors are unbanned here
+// (clippy.toml disallowed-methods; see iq-lint wallclock-in-core).
+#![allow(clippy::disallowed_methods)]
 use improvement_queries::core::update::{
     add_object, add_query, remove_last_object, remove_query, UpdateStats,
 };
